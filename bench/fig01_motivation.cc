@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Figure 1 (the motivating example): zeus performance
+ * improvement from prefetching, compression, both, and adaptive
+ * prefetching + compression, as the CMP grows from 1 to 16 cores.
+ *
+ * Paper: uniprocessor prefetching gains +74%; at 16 cores it turns
+ * into an 8% LOSS, while compression alone gives +6-12% and the
+ * adaptive combination reaches +28%.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cmpsim;
+using namespace cmpsim::bench;
+
+int
+main()
+{
+    banner("Figure 1: zeus improvement (%) vs base at each core count",
+           "pref: +74% (1p) -> -8% (16p); compr alone +6-12%; "
+           "adaptive+compr +28% at 16p");
+
+    const unsigned core_counts[] = {1, 2, 4, 8, 16};
+    std::printf("%6s %8s %8s %10s %12s\n", "cores", "pref", "compr",
+                "compr+pref", "compr+adapt");
+    for (const unsigned n : core_counts) {
+        const double base =
+            meanCycles(point(Cfg::Base, "zeus", n, 20.0, false, 1));
+        auto imp = [&](Cfg c) {
+            return pct(base,
+                       meanCycles(point(c, "zeus", n, 20.0, false, 1)));
+        };
+        std::printf("%6u %+7.1f%% %+7.1f%% %+9.1f%% %+11.1f%%\n", n,
+                    imp(Cfg::Pref), imp(Cfg::Compr),
+                    imp(Cfg::ComprPref), imp(Cfg::ComprAdapt));
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figure 4: pin bandwidth demand (GB/s) with no
+ * compression, cache compression only, link compression only, and
+ * both — measured on a system with infinite pin bandwidth, the
+ * paper's definition of demand. Paper: base demand 5.0 (oltp) to 8.8
+ * (apache) GB/s commercial, 7.6 (art) to 27.7 (fma3d) GB/s SPEComp;
+ * link compression cuts 34-41% commercial, up to 23% SPEComp (apsi
+ * barely moves).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cmpsim;
+using namespace cmpsim::bench;
+
+int
+main()
+{
+    banner("Figure 4: pin bandwidth demand (GB/s, infinite-bw system)",
+           "base: apache 8.8, oltp 5.0, art 7.6, fma3d 27.7; link "
+           "compression -34-41% commercial / up to -23% SPEComp");
+
+    std::printf("%-8s %8s %8s %8s %8s %10s %10s\n", "bench", "none",
+                "cache", "link", "both", "both vs none", "paper base");
+    for (const auto &wl : benchmarkNames()) {
+        auto bw = [&](Cfg c) {
+            return meanOf(point(c, wl, 8, 20.0, /*infinite=*/true),
+                          [](const RunResult &r) {
+                              return r.bandwidth_gbps;
+                          });
+        };
+        const double none = bw(Cfg::Base);
+        const double cache = bw(Cfg::CacheCompr);
+        const double link = bw(Cfg::LinkCompr);
+        const double both = bw(Cfg::Compr);
+        std::printf("%-8s %8.1f %8.1f %8.1f %8.1f %9.0f%% %10.1f\n",
+                    wl.c_str(), none, cache, link, both,
+                    none > 0 ? (both / none - 1.0) * 100.0 : 0.0,
+                    paperBandwidthDemand(wl));
+    }
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces Figure 5: speedup of cache compression, link compression,
+ * and both (no prefetching), relative to the base system. Paper: cache
+ * compression gains 5-18% commercial / 0-4% SPEComp; link compression
+ * alone only matters for bandwidth-bound fma3d (+23%); both together
+ * slightly beat cache-only (except fma3d, where link dominates).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cmpsim;
+using namespace cmpsim::bench;
+
+int
+main()
+{
+    banner("Figure 5: compression speedup (%) vs base",
+           "cache: +5-18% commercial, 0-4% SPEComp; link: fma3d +23%; "
+           "combined Table 5 column: see table5_interactions");
+
+    std::printf("%-8s %10s %10s %10s %14s\n", "bench", "cache",
+                "link", "both", "paper(both)");
+    for (const auto &wl : benchmarkNames()) {
+        const double base = meanCycles(point(Cfg::Base, wl));
+        const double cache = meanCycles(point(Cfg::CacheCompr, wl));
+        const double link = meanCycles(point(Cfg::LinkCompr, wl));
+        const double both = meanCycles(point(Cfg::Compr, wl));
+        std::printf("%-8s %+9.1f%% %+9.1f%% %+9.1f%% %+13.1f%%\n",
+                    wl.c_str(), pct(base, cache), pct(base, link),
+                    pct(base, both), paperRow(wl).compr);
+    }
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces Figure 9: speedups of prefetching alone, compression
+ * alone, and their combination, relative to the base system (8-core
+ * CMP). Paper (Table 5): combined gains of 10-51% for seven of eight
+ * workloads, jbb being the exception (-6.5%).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cmpsim;
+using namespace cmpsim::bench;
+
+int
+main()
+{
+    banner("Figure 9: speedup (%) of prefetching / compression / both",
+           "paper Table 5 rows shown for comparison");
+
+    std::printf("%-8s | %8s %8s %8s | %8s %8s %8s\n", "bench",
+                "pref", "compr", "both", "p-pref", "p-compr", "p-both");
+    for (const auto &wl : benchmarkNames()) {
+        const double base = meanCycles(point(Cfg::Base, wl));
+        const double pref = meanCycles(point(Cfg::Pref, wl));
+        const double compr = meanCycles(point(Cfg::Compr, wl));
+        const double both = meanCycles(point(Cfg::ComprPref, wl));
+        const auto &p = paperRow(wl);
+        std::printf("%-8s | %+7.1f%% %+7.1f%% %+7.1f%% | %+7.1f%% "
+                    "%+7.1f%% %+7.1f%%\n",
+                    wl.c_str(), pct(base, pref), pct(base, compr),
+                    pct(base, both), p.pref, p.compr, p.compr_pref);
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Figure 11: the Interaction(Pref, Compr) coefficient as
+ * the available pin bandwidth varies over 10, 20, 40 and 80 GB/s.
+ * Paper: commercial interactions are large at 10-20 GB/s (up to 29%
+ * and 17%) and drop sharply at 40-80 GB/s; SPEComp interactions are
+ * small, occasionally slightly negative (>= -3%), with mgrid up to
+ * +22% from link compression.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cmpsim;
+using namespace cmpsim::bench;
+
+int
+main()
+{
+    banner("Figure 11: Interaction(Pref, Compr) vs pin bandwidth",
+           "large at 10-20 GB/s for commercial (up to 29%/17%), "
+           "near zero at 40-80 GB/s");
+
+    const double bws[] = {10.0, 20.0, 40.0, 80.0};
+    std::printf("%-8s %10s %10s %10s %10s\n", "bench", "10GB/s",
+                "20GB/s", "40GB/s", "80GB/s");
+    for (const auto &wl : benchmarkNames()) {
+        std::printf("%-8s", wl.c_str());
+        for (const double bw : bws) {
+            const double base =
+                meanCycles(point(Cfg::Base, wl, 8, bw, false, 1));
+            const double pref =
+                meanCycles(point(Cfg::Pref, wl, 8, bw, false, 1));
+            const double compr =
+                meanCycles(point(Cfg::Compr, wl, 8, bw, false, 1));
+            const double both =
+                meanCycles(point(Cfg::ComprPref, wl, 8, bw, false, 1));
+            const double inter = interaction(speedup(base, pref),
+                                             speedup(base, compr),
+                                             speedup(base, both)) *
+                                 100.0;
+            std::printf(" %+9.1f%%", inter);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

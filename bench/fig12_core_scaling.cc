@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Figure 12 (and the apache/jbb half of Figure 1):
+ * performance improvement of prefetching, adaptive prefetching,
+ * compression, and the combinations as the core count scales from 1
+ * to 16, each relative to the base system with the same core count.
+ *
+ * Paper: prefetching's benefit decays with cores (apache +61% at 1p
+ * -> 0% at 16p; jbb +2% -> -35%); compression's slowly grows (apache
+ * +20% -> +23%); adaptive+compression stays strong at 16 cores
+ * (apache +39%, jbb degradation shrinks to -2..+2%).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cmpsim;
+using namespace cmpsim::bench;
+
+int
+main()
+{
+    banner("Figure 12: improvement (%) vs base at the same core count",
+           "prefetching decays with cores; compression grows slowly; "
+           "the combination stays strong");
+
+    const unsigned core_counts[] = {1, 2, 4, 8, 16};
+    for (const auto &wl : {std::string("apache"), std::string("jbb")}) {
+        std::printf("--- %s ---\n", wl.c_str());
+        std::printf("%6s %8s %8s %8s %10s %12s\n", "cores", "pref",
+                    "adapt", "compr", "compr+pref", "compr+adapt");
+        for (const unsigned n : core_counts) {
+            const double base =
+                meanCycles(point(Cfg::Base, wl, n, 20.0, false, 1));
+            auto imp = [&](Cfg c) {
+                return pct(base,
+                           meanCycles(point(c, wl, n, 20.0, false, 1)));
+            };
+            std::printf("%6u %+7.1f%% %+7.1f%% %+7.1f%% %+9.1f%% "
+                        "%+11.1f%%\n",
+                        n, imp(Cfg::Pref), imp(Cfg::Adaptive),
+                        imp(Cfg::Compr), imp(Cfg::ComprPref),
+                        imp(Cfg::ComprAdapt));
+        }
+    }
+    return 0;
+}

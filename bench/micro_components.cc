@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator substrates: the
+ * decoupled variable-segment set, the stride prefetcher, the event
+ * kernel, the priority link, and the functional L2 access path that
+ * dominates warmup time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/cache/decoupled_set.h"
+#include "src/common/random.h"
+#include "src/cache/l2_cache.h"
+#include "src/compression/fpc.h"
+#include "src/mem/priority_link.h"
+#include "src/prefetch/stride_prefetcher.h"
+#include "src/sim/event_queue.h"
+
+namespace {
+
+using namespace cmpsim;
+
+void
+BM_DecoupledSetInsert(benchmark::State &state)
+{
+    DecoupledSet set(8, 32);
+    Random rng(1);
+    std::uint64_t line = 0;
+    for (auto _ : state) {
+        TagEntry e;
+        e.line = (line++ % 64) << kLineShift;
+        e.valid = true;
+        e.segments = static_cast<std::uint8_t>(rng.inRange(1, 8));
+        if (set.find(e.line) == nullptr)
+            benchmark::DoNotOptimize(set.insert(e));
+        else
+            set.touch(e.line);
+    }
+}
+BENCHMARK(BM_DecoupledSetInsert);
+
+void
+BM_DecoupledSetLookup(benchmark::State &state)
+{
+    DecoupledSet set(8, 32);
+    for (Addr a = 0; a < 6; ++a) {
+        TagEntry e;
+        e.line = a << kLineShift;
+        e.valid = true;
+        e.segments = 5;
+        set.insert(e);
+    }
+    Addr probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            set.find(((probe++) % 8) << kLineShift));
+    }
+}
+BENCHMARK(BM_DecoupledSetLookup);
+
+void
+BM_PrefetcherObserveMiss(benchmark::State &state)
+{
+    PrefetcherParams p;
+    p.startup_prefetches = 25;
+    StridePrefetcher pf(p);
+    std::uint64_t line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pf.observeMiss((line++ & 0xffff) << kLineShift, 25));
+    }
+}
+BENCHMARK(BM_PrefetcherObserveMiss);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        eq.schedule(eq.now() + 5, [&sink] { ++sink; });
+        eq.schedule(eq.now() + 3, [&sink] { ++sink; });
+        eq.drain();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_PriorityLinkSend(benchmark::State &state)
+{
+    EventQueue eq;
+    PriorityLink link(eq, 4.0, false);
+    for (auto _ : state) {
+        link.send(72, LinkClass::Demand, eq.now(), nullptr);
+        link.send(72, LinkClass::Prefetch, eq.now(), nullptr);
+        eq.drain();
+    }
+}
+BENCHMARK(BM_PriorityLinkSend);
+
+void
+BM_L2FunctionalAccess(benchmark::State &state)
+{
+    EventQueue eq;
+    FpcCompressor fpc;
+    ValueStore values(fpc);
+    MemoryParams mp;
+    MainMemory mem(eq, values, mp);
+    L2Params p2;
+    p2.sets = 1024;
+    p2.banks = 8;
+    p2.cores = 1;
+    L2Cache l2(eq, values, mem, p2);
+    l2.setFunctionalMode(true);
+    Random rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(l2.accessFunctional(
+            0, (rng.below(4096)) << kLineShift, false,
+            ReqType::Demand));
+    }
+}
+BENCHMARK(BM_L2FunctionalAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

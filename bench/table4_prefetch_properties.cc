@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Table 4: prefetch rate (per 1000 instructions), coverage
+ * (EQ 3) and accuracy (EQ 4) for the L1I, L1D and L2 prefetchers, on
+ * the 8-core CMP with non-adaptive prefetching and no compression.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cmpsim;
+using namespace cmpsim::bench;
+
+int
+main()
+{
+    banner("Table 4: prefetching properties (rate / coverage% / "
+           "accuracy%)",
+           "commercial: high L1I rates, L2 26-45% cov @ 32-58% acc; "
+           "SPEComp: near-zero L1I, L2 45-96% cov @ 74-98% acc");
+
+    std::printf("%-8s | %18s | %18s | %18s\n", "bench",
+                "L1I  r/cov/acc", "L1D  r/cov/acc", "L2   r/cov/acc");
+    std::printf("%-8s | %18s | %18s | %18s  (paper)\n", "", "", "", "");
+    for (const auto &wl : benchmarkNames()) {
+        const auto s = point(Cfg::Pref, wl);
+        auto m = [&](RunResult::PfMetrics RunResult::*field) {
+            RunResult::PfMetrics out;
+            for (const auto &r : s.runs) {
+                out.rate_per_kilo_instr +=
+                    (r.*field).rate_per_kilo_instr;
+                out.coverage_pct += (r.*field).coverage_pct;
+                out.accuracy_pct += (r.*field).accuracy_pct;
+            }
+            const auto n = static_cast<double>(s.runs.size());
+            out.rate_per_kilo_instr /= n;
+            out.coverage_pct /= n;
+            out.accuracy_pct /= n;
+            return out;
+        };
+        const auto i = m(&RunResult::l1i);
+        const auto d = m(&RunResult::l1d);
+        const auto l2 = m(&RunResult::l2pf);
+        const auto &p = paperTable4Row(wl);
+        std::printf("%-8s | %5.1f %5.1f %5.1f | %5.1f %5.1f %5.1f | "
+                    "%5.1f %5.1f %5.1f\n",
+                    wl.c_str(), i.rate_per_kilo_instr, i.coverage_pct,
+                    i.accuracy_pct, d.rate_per_kilo_instr,
+                    d.coverage_pct, d.accuracy_pct,
+                    l2.rate_per_kilo_instr, l2.coverage_pct,
+                    l2.accuracy_pct);
+        std::printf("%-8s | %5.1f %5.1f %5.1f | %5.1f %5.1f %5.1f | "
+                    "%5.1f %5.1f %5.1f   <- paper\n",
+                    "", p.l1i_rate, p.l1i_cov, p.l1i_acc, p.l1d_rate,
+                    p.l1d_cov, p.l1d_acc, p.l2_rate, p.l2_cov,
+                    p.l2_acc);
+    }
+    return 0;
+}

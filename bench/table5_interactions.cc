@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Table 5: speedups of prefetching, compression, their
+ * combination, and adaptive prefetching + compression, plus the
+ * Interaction(Pref, Compr) coefficient of EQ 5 (Fields et al. [21]):
+ *
+ *   Speedup(P,C) = Speedup(P) x Speedup(C) x (1 + Interaction)
+ *
+ * Paper: positive interaction for all workloads except apsi, up to
+ * +21.5% (mgrid) and +16.9% (jbb).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cmpsim;
+using namespace cmpsim::bench;
+
+int
+main()
+{
+    banner("Table 5: speedups and interaction between prefetching and "
+           "compression",
+           "interaction positive everywhere except apsi; mgrid +21.5%, "
+           "jbb +16.9%");
+
+    std::printf("%-8s | %8s %8s %8s %8s %8s | %28s\n", "bench", "pref",
+                "compr", "both", "ad+cmp", "interact",
+                "paper p/c/both/inter");
+    for (const auto &wl : benchmarkNames()) {
+        const auto base_s = point(Cfg::Base, wl);
+        const double base = meanCycles(base_s);
+        const double pref = meanCycles(point(Cfg::Pref, wl));
+        const double compr = meanCycles(point(Cfg::Compr, wl));
+        const double both = meanCycles(point(Cfg::ComprPref, wl));
+        const double cadap = meanCycles(point(Cfg::ComprAdapt, wl));
+        const double sp = speedup(base, pref);
+        const double sc = speedup(base, compr);
+        const double sb = speedup(base, both);
+        const double inter = interaction(sp, sc, sb) * 100.0;
+        const auto &p = paperRow(wl);
+        std::printf("%-8s | %+7.1f%% %+7.1f%% %+7.1f%% %+7.1f%% "
+                    "%+7.1f%% | %+6.1f/%+5.1f/%+5.1f/%+5.1f\n",
+                    wl.c_str(), (sp - 1) * 100, (sc - 1) * 100,
+                    (sb - 1) * 100, pct(base, cadap), inter, p.pref,
+                    p.compr, p.compr_pref, p.interaction);
+        std::printf("%-8s |   95%%-CI of base cycles: +/-%.1f%%\n", "",
+                    base_s.cycles.mean > 0
+                        ? base_s.cycles.ci95 / base_s.cycles.mean * 100
+                        : 0.0);
+    }
+    return 0;
+}

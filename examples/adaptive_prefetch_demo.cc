@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Scenario: watch the paper's adaptive prefetch throttle (Section 3)
+ * operate. Runs jbb — the workload whose useless and harmful
+ * prefetches cost 25% performance — and prints the shared-L2
+ * saturating counter plus the useful/useless/harmful event counts
+ * over time, side by side for the non-adaptive and adaptive systems.
+ *
+ *   ./adaptive_prefetch_demo [workload] [slices]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core_api/cmp_system.h"
+
+using namespace cmpsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string wl = argc > 1 ? argv[1] : "jbb";
+    const unsigned slices =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 12;
+
+    std::printf("Adaptive prefetch throttling on %s\n\n", wl.c_str());
+
+    SystemConfig pref_cfg = makeConfig(8, 4, false, false, true, false);
+    SystemConfig adap_cfg = makeConfig(8, 4, false, false, true, true);
+    CmpSystem pref(pref_cfg, benchmarkParams(wl));
+    CmpSystem adap(adap_cfg, benchmarkParams(wl));
+    pref.warmup(250000);
+    adap.warmup(250000);
+
+    std::printf("%-6s | %28s | %28s\n", "", "non-adaptive", "adaptive");
+    std::printf("%-6s | %6s %6s %6s %6s | %6s %6s %6s %6s\n", "slice",
+                "ctr", "useful", "useless", "harmful", "ctr", "useful",
+                "useless", "harmful");
+
+    std::uint64_t pref_cycles = 0, adap_cycles = 0;
+    for (unsigned s = 0; s < slices; ++s) {
+        pref.run(4000);
+        adap.run(4000);
+        pref_cycles += pref.cycles();
+        adap_cycles += adap.cycles();
+        std::printf("%-6u | %6u %6llu %6llu %6llu "
+                    "| %6u %6llu %6llu %6llu\n",
+                    s, pref.l2Adaptive().counterValue(),
+                    static_cast<unsigned long long>(
+                        pref.l2Adaptive().usefulCount()),
+                    static_cast<unsigned long long>(
+                        pref.l2Adaptive().uselessCount()),
+                    static_cast<unsigned long long>(
+                        pref.l2Adaptive().harmfulCount()),
+                    adap.l2Adaptive().counterValue(),
+                    static_cast<unsigned long long>(
+                        adap.l2Adaptive().usefulCount()),
+                    static_cast<unsigned long long>(
+                        adap.l2Adaptive().uselessCount()),
+                    static_cast<unsigned long long>(
+                        adap.l2Adaptive().harmfulCount()));
+    }
+
+    std::printf("\ntotal cycles: non-adaptive %llu, adaptive %llu "
+                "(%+.1f%%)\n",
+                static_cast<unsigned long long>(pref_cycles),
+                static_cast<unsigned long long>(adap_cycles),
+                (static_cast<double>(pref_cycles) /
+                     static_cast<double>(adap_cycles) -
+                 1) * 100);
+    std::printf("\nThe non-adaptive counter stays pinned at max (it is "
+                "ignored);\nthe adaptive one sinks as useless/harmful "
+                "evidence accumulates,\nthrottling the startup burst "
+                "from 25 prefetches downward.\n");
+    return 0;
+}

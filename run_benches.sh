@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every bench binary, teeing combined output to bench_output.txt.
+cd "$(dirname "$0")"
+out=${1:-bench_output.txt}
+: > "$out"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "##### $b #####" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+  echo | tee -a "$out"
+done
+echo "ALL_BENCHES_DONE" | tee -a "$out"

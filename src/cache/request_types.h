@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Request classification shared by the L1 and L2 caches: who initiated
+ * a memory request. Demand requests come from executing instructions;
+ * the prefetch kinds identify the engine that generated them, which
+ * the stat machinery uses for the paper's coverage/accuracy metrics
+ * (Table 4).
+ */
+
+#ifndef CMPSIM_CACHE_REQUEST_TYPES_H
+#define CMPSIM_CACHE_REQUEST_TYPES_H
+
+#include <cstdint>
+
+namespace cmpsim {
+
+/** Originator of a cache request. */
+enum class ReqType : std::uint8_t
+{
+    Demand,     ///< core load/store/ifetch (or an L1 demand miss at L2)
+    L1Prefetch, ///< issued by an L1 prefetcher (fills L1 and L2)
+    L2Prefetch, ///< issued by an L2 prefetcher (fills L2 only)
+};
+
+/** Prefetch-fill attribution stored in the tag. */
+enum class PfSource : std::uint8_t
+{
+    None = 0,
+    L1 = 1,
+    L2 = 2,
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_CACHE_REQUEST_TYPES_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The value contents of one 64-byte cache line, with word/halfword
+ * accessors used by the compressors and the workload value generators.
+ */
+
+#ifndef CMPSIM_COMMON_LINE_DATA_H
+#define CMPSIM_COMMON_LINE_DATA_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/types.h"
+
+namespace cmpsim {
+
+/** Raw bytes of one cache line. */
+using LineData = std::array<std::uint8_t, kLineBytes>;
+
+/** Read the @p i-th little-endian 32-bit word of @p line. */
+inline std::uint32_t
+lineWord(const LineData &line, unsigned i)
+{
+    std::uint32_t w;
+    std::memcpy(&w, line.data() + i * 4, 4);
+    return w;
+}
+
+/** Write the @p i-th little-endian 32-bit word of @p line. */
+inline void
+setLineWord(LineData &line, unsigned i, std::uint32_t w)
+{
+    std::memcpy(line.data() + i * 4, &w, 4);
+}
+
+/** Read the @p i-th little-endian 64-bit word of @p line. */
+inline std::uint64_t
+lineQword(const LineData &line, unsigned i)
+{
+    std::uint64_t w;
+    std::memcpy(&w, line.data() + i * 8, 8);
+    return w;
+}
+
+/** Write the @p i-th little-endian 64-bit word of @p line. */
+inline void
+setLineQword(LineData &line, unsigned i, std::uint64_t w)
+{
+    std::memcpy(line.data() + i * 8, &w, 8);
+}
+
+/** An all-zero line. */
+inline LineData
+zeroLine()
+{
+    LineData d{};
+    return d;
+}
+
+} // namespace cmpsim
+
+#endif // CMPSIM_COMMON_LINE_DATA_H

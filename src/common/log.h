@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - internal invariant violated; a cmpsim bug. Aborts.
+ * fatal()  - the user asked for something impossible (bad config). Exits.
+ * warn()   - something works, but not as well as it should.
+ * inform() - status messages.
+ */
+
+#ifndef CMPSIM_COMMON_LOG_H
+#define CMPSIM_COMMON_LOG_H
+
+#include <cstdarg>
+
+namespace cmpsim {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Silence warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+
+} // namespace cmpsim
+
+#define cmpsim_panic(...) \
+    ::cmpsim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define cmpsim_fatal(...) \
+    ::cmpsim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define cmpsim_warn(...) ::cmpsim::warnImpl(__VA_ARGS__)
+#define cmpsim_inform(...) ::cmpsim::informImpl(__VA_ARGS__)
+
+/**
+ * Assert a simulator invariant; active in all build types because
+ * simulation bugs silently corrupt results.
+ */
+#define cmpsim_assert(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::cmpsim::panicImpl(__FILE__, __LINE__,                       \
+                                "assertion failed: %s", #cond);           \
+        }                                                                 \
+    } while (0)
+
+#endif // CMPSIM_COMMON_LOG_H

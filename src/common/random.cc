@@ -1,0 +1,31 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace cmpsim {
+
+std::uint64_t
+Random::zipf(std::uint64_t n, double s)
+{
+    cmpsim_assert(n > 0);
+    if (n == 1)
+        return 0;
+    if (s <= 0.0)
+        return below(n);
+    // Inverse-CDF of the continuous power-law envelope
+    //   F(x) ~ (x^(1-s) - 1) / (n^(1-s) - 1)  for s != 1,
+    //   F(x) ~ ln(x) / ln(n)                  for s == 1.
+    const double u = uniform();
+    double x;
+    if (std::abs(s - 1.0) < 1e-9) {
+        x = std::exp(u * std::log(static_cast<double>(n)));
+    } else {
+        const double one_minus_s = 1.0 - s;
+        const double top = std::pow(static_cast<double>(n), one_minus_s);
+        x = std::pow(u * (top - 1.0) + 1.0, 1.0 / one_minus_s);
+    }
+    auto rank = static_cast<std::uint64_t>(x) - 1;
+    return rank >= n ? n - 1 : rank;
+}
+
+} // namespace cmpsim

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Lightweight statistics package: counters, averages and histograms that
+ * components register with a StatRegistry for end-of-run dumping, plus
+ * the sample-summary (mean / 95% confidence interval) helpers the
+ * experiment runner uses to report multi-seed results the way the paper
+ * does.
+ */
+
+#ifndef CMPSIM_COMMON_STATS_H
+#define CMPSIM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/log.h"
+
+namespace cmpsim {
+
+/** A monotonically growing event count. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Sum/count pair for mean-of-samples stats (e.g., average latency). */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-width-bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    /** @param bucket_width width of each bucket; @param buckets count. */
+    Histogram(double bucket_width, unsigned buckets)
+        : width_(bucket_width), counts_(buckets + 1, 0)
+    {
+        cmpsim_assert(bucket_width > 0 && buckets > 0);
+    }
+
+    void
+    sample(double v)
+    {
+        auto idx = v < 0 ? 0u : static_cast<unsigned>(v / width_);
+        if (idx >= counts_.size())
+            idx = static_cast<unsigned>(counts_.size()) - 1;
+        ++counts_[idx];
+        sum_ += v;
+        ++total_;
+    }
+
+    std::uint64_t bucket(unsigned i) const { return counts_.at(i); }
+    unsigned buckets() const { return static_cast<unsigned>(counts_.size()); }
+    std::uint64_t total() const { return total_; }
+
+    double
+    mean() const
+    {
+        return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+    }
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        sum_ = 0.0;
+        total_ = 0;
+    }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    double sum_ = 0.0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Name -> stat-pointer registry. Components register their counters
+ * under a hierarchical dotted prefix ("l2.misses"); the registry can
+ * dump everything or resolve one value for tests and benches.
+ *
+ * The registry does not own the stats; registrants must outlive it or
+ * call nothing after destruction (the usual pattern is that the System
+ * owns both the components and the registry).
+ */
+class StatRegistry
+{
+  public:
+    void registerCounter(const std::string &name, const Counter *c);
+    void registerAverage(const std::string &name, const Average *a);
+
+    /** Value of a registered counter. Fatal if absent. */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Mean of a registered average. Fatal if absent. */
+    double average(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+
+    /** All registered counter names, sorted. */
+    std::vector<std::string> counterNames() const;
+
+    /** Dump "name value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat to zero (start of measurement). */
+    void resetAll();
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Average *> averages_;
+};
+
+/** Summary of repeated-trial samples: mean and 95% CI half-width. */
+struct SampleSummary
+{
+    double mean = 0.0;
+    double ci95 = 0.0; ///< half-width; 0 when fewer than 2 samples
+    unsigned n = 0;
+};
+
+/** Student-t based summary of @p samples (the paper's methodology). */
+SampleSummary summarize(const std::vector<double> &samples);
+
+} // namespace cmpsim
+
+#endif // CMPSIM_COMMON_STATS_H

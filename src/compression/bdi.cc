@@ -1,0 +1,206 @@
+#include "src/compression/bdi.h"
+
+#include <cstring>
+
+namespace cmpsim {
+
+namespace {
+
+struct TrialSpec
+{
+    BdiCompressor::Encoding enc;
+    unsigned base_bytes;
+    unsigned delta_bytes;
+};
+
+constexpr TrialSpec kTrials[] = {
+    {BdiCompressor::B8D1, 8, 1}, {BdiCompressor::B8D2, 8, 2},
+    {BdiCompressor::B8D4, 8, 4}, {BdiCompressor::B4D1, 4, 1},
+    {BdiCompressor::B4D2, 4, 2}, {BdiCompressor::B2D1, 2, 1},
+};
+
+std::uint64_t
+element(const LineData &line, unsigned base_bytes, unsigned i)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, line.data() + i * base_bytes, base_bytes);
+    return v;
+}
+
+/** Signed-fit check: does (a - b) fit in delta_bytes as signed? */
+bool
+deltaFits(std::uint64_t a, std::uint64_t b, unsigned delta_bytes)
+{
+    const auto d = static_cast<std::int64_t>(a - b);
+    const std::int64_t lo = -(1LL << (delta_bytes * 8 - 1));
+    const std::int64_t hi = (1LL << (delta_bytes * 8 - 1)) - 1;
+    return d >= lo && d <= hi;
+}
+
+/**
+ * Attempt one (base, delta) trial. Returns encoded bit size, or 0 on
+ * failure. On success and non-null outputs, fills base/selectors.
+ */
+unsigned
+tryTrial(const LineData &line, const TrialSpec &t, std::uint64_t *base_out,
+         std::uint64_t *mask_out)
+{
+    const unsigned n = kLineBytes / t.base_bytes;
+    bool have_base = false;
+    std::uint64_t base = 0;
+    std::uint64_t mask = 0; // bit i set -> element uses explicit base
+
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint64_t v = element(line, t.base_bytes, i);
+        if (deltaFits(v, 0, t.delta_bytes))
+            continue; // implicit zero base
+        if (!have_base) {
+            have_base = true;
+            base = v;
+        }
+        if (!deltaFits(v, base, t.delta_bytes))
+            return 0;
+        mask |= 1ULL << i;
+    }
+
+    if (base_out)
+        *base_out = base;
+    if (mask_out)
+        *mask_out = mask;
+    // 4-bit encoding id + base + selector bit per element + deltas.
+    return 4 + t.base_bytes * 8 + n + n * t.delta_bytes * 8;
+}
+
+} // namespace
+
+CompressedSize
+BdiCompressor::compress(const LineData &line, BitStream *out) const
+{
+    if (out)
+        out->clear();
+
+    // Special case: all zero.
+    bool all_zero = true;
+    for (unsigned q = 0; q < kLineBytes / 8 && all_zero; ++q)
+        all_zero = lineQword(line, q) == 0;
+    if (all_zero) {
+        if (out)
+            out->put(Zeros, 4);
+        CompressedSize s;
+        s.bits = 4;
+        s.segments = 1;
+        return s;
+    }
+
+    // Special case: repeated 8-byte value.
+    bool repeated = true;
+    const std::uint64_t first = lineQword(line, 0);
+    for (unsigned q = 1; q < kLineBytes / 8 && repeated; ++q)
+        repeated = lineQword(line, q) == first;
+    if (repeated) {
+        if (out) {
+            out->put(Repeated8, 4);
+            out->put(first, 64);
+        }
+        CompressedSize s;
+        s.bits = 4 + 64;
+        s.segments = segmentsForBits(s.bits);
+        return s;
+    }
+
+    // Base+delta trials; keep the smallest that succeeds.
+    const TrialSpec *best = nullptr;
+    unsigned best_bits = kLineBytes * 8;
+    for (const auto &t : kTrials) {
+        const unsigned bits = tryTrial(line, t, nullptr, nullptr);
+        if (bits != 0 && bits < best_bits) {
+            best = &t;
+            best_bits = bits;
+        }
+    }
+
+    if (best == nullptr || segmentsForBits(best_bits) >= kSegmentsPerLine) {
+        if (out) {
+            out->put(Uncompressed, 4);
+            for (unsigned q = 0; q < kLineBytes / 8; ++q)
+                out->put(lineQword(line, q), 64);
+        }
+        return CompressedSize{};
+    }
+
+    std::uint64_t base = 0;
+    std::uint64_t mask = 0;
+    tryTrial(line, *best, &base, &mask);
+    if (out) {
+        const unsigned n = kLineBytes / best->base_bytes;
+        out->put(best->enc, 4);
+        out->put(base, best->base_bytes * 8);
+        out->put(mask, n);
+        for (unsigned i = 0; i < n; ++i) {
+            const std::uint64_t v = element(line, best->base_bytes, i);
+            const std::uint64_t b = (mask >> i) & 1 ? base : 0;
+            out->put(v - b, best->delta_bytes * 8);
+        }
+    }
+
+    CompressedSize s;
+    s.bits = best_bits;
+    s.segments = segmentsForBits(best_bits);
+    return s;
+}
+
+LineData
+BdiCompressor::decompress(const BitStream &encoded,
+                          const CompressedSize &size) const
+{
+    (void)size;
+    LineData line{};
+    BitReader rd(encoded);
+    const auto enc = static_cast<Encoding>(rd.get(4));
+
+    switch (enc) {
+      case Zeros:
+        return line;
+      case Repeated8: {
+        const std::uint64_t v = rd.get(64);
+        for (unsigned q = 0; q < kLineBytes / 8; ++q)
+            setLineQword(line, q, v);
+        return line;
+      }
+      case Uncompressed:
+        for (unsigned q = 0; q < kLineBytes / 8; ++q)
+            setLineQword(line, q, rd.get(64));
+        return line;
+      default:
+        break;
+    }
+
+    const TrialSpec *spec = nullptr;
+    for (const auto &t : kTrials) {
+        if (t.enc == enc) {
+            spec = &t;
+            break;
+        }
+    }
+    cmpsim_assert(spec != nullptr);
+
+    const unsigned n = kLineBytes / spec->base_bytes;
+    const std::uint64_t base = rd.get(spec->base_bytes * 8);
+    const std::uint64_t mask = rd.get(n);
+    for (unsigned i = 0; i < n; ++i) {
+        std::uint64_t d = rd.get(spec->delta_bytes * 8);
+        // Sign-extend the delta.
+        const unsigned bits = spec->delta_bytes * 8;
+        if (bits < 64 && (d >> (bits - 1)) & 1)
+            d |= ~((1ULL << bits) - 1);
+        const std::uint64_t b = (mask >> i) & 1 ? base : 0;
+        std::uint64_t v = b + d;
+        if (spec->base_bytes < 8)
+            v &= (1ULL << (spec->base_bytes * 8)) - 1;
+        std::memcpy(line.data() + i * spec->base_bytes, &v,
+                    spec->base_bytes);
+    }
+    return line;
+}
+
+} // namespace cmpsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012),
+ * implemented as an extension comparator to FPC. Not used by the
+ * paper itself; included so ablation benches can swap the compression
+ * algorithm and observe how the compression/prefetching interaction
+ * shifts with a different compressor.
+ *
+ * A line is encoded as (encoding id, base, per-element 1-bit base
+ * selector, packed deltas); elements match either an implicit zero
+ * base or the single explicit base. We try the standard (base size,
+ * delta size) pairs and keep the smallest lossless encoding.
+ */
+
+#ifndef CMPSIM_COMPRESSION_BDI_H
+#define CMPSIM_COMPRESSION_BDI_H
+
+#include "src/compression/compressor.h"
+
+namespace cmpsim {
+
+/** Base-Delta-Immediate encoder/decoder. */
+class BdiCompressor : public Compressor
+{
+  public:
+    std::string name() const override { return "bdi"; }
+
+    CompressedSize compress(const LineData &line,
+                            BitStream *out = nullptr) const override;
+
+    LineData decompress(const BitStream &encoded,
+                        const CompressedSize &size) const override;
+
+    /** Encoding ids stored in the 4-bit header. */
+    enum Encoding : unsigned
+    {
+        Zeros = 0,      ///< all bytes zero
+        Repeated8 = 1,  ///< one 8-byte value repeated
+        B8D1 = 2,
+        B8D2 = 3,
+        B8D4 = 4,
+        B4D1 = 5,
+        B4D2 = 6,
+        B2D1 = 7,
+        Uncompressed = 8,
+    };
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_COMPRESSION_BDI_H

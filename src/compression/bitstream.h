@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Append-only bit writer and sequential bit reader used to hold the
+ * exact encoded form of a compressed cache line. Bits are packed
+ * little-endian within 64-bit words, LSB first.
+ */
+
+#ifndef CMPSIM_COMPRESSION_BITSTREAM_H
+#define CMPSIM_COMPRESSION_BITSTREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/log.h"
+
+namespace cmpsim {
+
+/** Growable bit vector with an append cursor. */
+class BitStream
+{
+  public:
+    /** Append the low @p nbits bits of @p value. @pre nbits <= 64. */
+    void
+    put(std::uint64_t value, unsigned nbits)
+    {
+        cmpsim_assert(nbits <= 64);
+        if (nbits == 0)
+            return;
+        if (nbits < 64)
+            value &= (1ULL << nbits) - 1;
+        const unsigned word = size_bits_ / 64;
+        const unsigned off = size_bits_ % 64;
+        if (word >= words_.size())
+            words_.push_back(0);
+        words_[word] |= value << off;
+        if (off + nbits > 64) {
+            words_.push_back(value >> (64 - off));
+        }
+        size_bits_ += nbits;
+    }
+
+    unsigned sizeBits() const { return size_bits_; }
+
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+    void
+    clear()
+    {
+        words_.clear();
+        size_bits_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    unsigned size_bits_ = 0;
+};
+
+/** Sequential reader over a BitStream. */
+class BitReader
+{
+  public:
+    explicit BitReader(const BitStream &bs) : bs_(bs) {}
+
+    /** Read the next @p nbits bits. @pre enough bits remain. */
+    std::uint64_t
+    get(unsigned nbits)
+    {
+        cmpsim_assert(nbits <= 64);
+        cmpsim_assert(pos_ + nbits <= bs_.sizeBits());
+        if (nbits == 0)
+            return 0;
+        const unsigned word = pos_ / 64;
+        const unsigned off = pos_ % 64;
+        std::uint64_t v = bs_.words()[word] >> off;
+        if (off + nbits > 64)
+            v |= bs_.words()[word + 1] << (64 - off);
+        if (nbits < 64)
+            v &= (1ULL << nbits) - 1;
+        pos_ += nbits;
+        return v;
+    }
+
+    unsigned remaining() const { return bs_.sizeBits() - pos_; }
+
+  private:
+    const BitStream &bs_;
+    unsigned pos_ = 0;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_COMPRESSION_BITSTREAM_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Abstract line-compression interface shared by the L2 cache and the
+ * off-chip link. Implementations must be lossless: decompress() of a
+ * compress() result reproduces the input bytes exactly, and tests
+ * enforce it with randomized round-trips.
+ */
+
+#ifndef CMPSIM_COMPRESSION_COMPRESSOR_H
+#define CMPSIM_COMPRESSION_COMPRESSOR_H
+
+#include <string>
+
+#include "src/common/line_data.h"
+#include "src/common/types.h"
+#include "src/compression/bitstream.h"
+
+namespace cmpsim {
+
+/** Size outcome of compressing one line. */
+struct CompressedSize
+{
+    /** Encoded payload size in bits (before segment rounding). */
+    unsigned bits = kLineBytes * 8;
+
+    /**
+     * Storage segments (8-byte units) the line occupies in a
+     * compressed cache or on the link, in [1, kSegmentsPerLine].
+     * Lines whose encoding does not fit in fewer segments than the
+     * uncompressed form are stored raw and report kSegmentsPerLine.
+     */
+    unsigned segments = kSegmentsPerLine;
+
+    bool isCompressed() const { return segments < kSegmentsPerLine; }
+};
+
+/** Round an encoded bit count up to 8-byte storage segments. */
+constexpr unsigned
+segmentsForBits(unsigned bits)
+{
+    const unsigned segs = (bits + kSegmentBytes * 8 - 1) / (kSegmentBytes * 8);
+    return segs == 0 ? 1 : segs;
+}
+
+/** Lossless cache-line compressor. */
+class Compressor
+{
+  public:
+    virtual ~Compressor() = default;
+
+    /** Human-readable algorithm name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Compress @p line.
+     *
+     * @param line input bytes
+     * @param out optional: receives the exact encoded bit stream
+     *        (cleared first). When the line is stored raw because the
+     *        encoding would not save a segment, @p out receives the
+     *        raw line bits.
+     * @return encoded size; segments == kSegmentsPerLine means "stored
+     *         uncompressed".
+     */
+    virtual CompressedSize compress(const LineData &line,
+                                    BitStream *out = nullptr) const = 0;
+
+    /**
+     * Reverse compress(). @p size must be the CompressedSize that
+     * compress() returned for this stream.
+     */
+    virtual LineData decompress(const BitStream &encoded,
+                                const CompressedSize &size) const = 0;
+
+    /** Convenience: segments only (the common fast path in the sim). */
+    unsigned
+    compressedSegments(const LineData &line) const
+    {
+        return compress(line).segments;
+    }
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_COMPRESSION_COMPRESSOR_H

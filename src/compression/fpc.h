@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Frequent Pattern Compression (FPC) — the compression algorithm used
+ * for both cache and link compression in the paper (Alameldeen & Wood,
+ * UW-Madison TR-1500 / HPCA'07 Section 2).
+ *
+ * Each 32-bit word is encoded as a 3-bit prefix plus variable data:
+ *
+ *   000  run of 1-8 all-zero words       (3 data bits: run length - 1)
+ *   001  4-bit sign-extended value       (4 data bits)
+ *   010  8-bit sign-extended value       (8 data bits)
+ *   011  16-bit sign-extended value      (16 data bits)
+ *   100  lower halfword zero             (16 data bits: upper halfword)
+ *   101  two sign-extended-byte halfwords(16 data bits: two bytes)
+ *   110  word of one repeated byte       (8 data bits)
+ *   111  uncompressed word               (32 data bits)
+ *
+ * The encoded line is rounded up to 8-byte segments; if it needs as
+ * many segments as the raw line it is stored uncompressed.
+ */
+
+#ifndef CMPSIM_COMPRESSION_FPC_H
+#define CMPSIM_COMPRESSION_FPC_H
+
+#include "src/compression/compressor.h"
+
+namespace cmpsim {
+
+/** Bit-exact FPC encoder/decoder. */
+class FpcCompressor : public Compressor
+{
+  public:
+    std::string name() const override { return "fpc"; }
+
+    CompressedSize compress(const LineData &line,
+                            BitStream *out = nullptr) const override;
+
+    LineData decompress(const BitStream &encoded,
+                        const CompressedSize &size) const override;
+
+    /** FPC word patterns, exposed for tests and stat breakdowns. */
+    enum Pattern : unsigned
+    {
+        ZeroRun = 0,
+        Se4 = 1,
+        Se8 = 2,
+        Se16 = 3,
+        LowerZero = 4,
+        TwoSeBytes = 5,
+        RepeatedByte = 6,
+        Raw = 7,
+    };
+
+    /** Classify one 32-bit word (ZeroRun means "this word is zero"). */
+    static Pattern classify(std::uint32_t word);
+
+    /** Encoded data bits for a pattern (excluding the 3-bit prefix). */
+    static unsigned dataBits(Pattern p);
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_COMPRESSION_FPC_H

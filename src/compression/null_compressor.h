@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pass-through compressor: every line is stored raw. Used for the
+ * paper's base (uncompressed) configurations so the cache and link
+ * code paths are identical across configs.
+ */
+
+#ifndef CMPSIM_COMPRESSION_NULL_COMPRESSOR_H
+#define CMPSIM_COMPRESSION_NULL_COMPRESSOR_H
+
+#include "src/compression/compressor.h"
+
+namespace cmpsim {
+
+/** Identity "compression": always kSegmentsPerLine segments. */
+class NullCompressor : public Compressor
+{
+  public:
+    std::string name() const override { return "none"; }
+
+    CompressedSize
+    compress(const LineData &line, BitStream *out = nullptr) const override
+    {
+        if (out) {
+            out->clear();
+            for (unsigned q = 0; q < kLineBytes / 8; ++q)
+                out->put(lineQword(line, q), 64);
+        }
+        return CompressedSize{};
+    }
+
+    LineData
+    decompress(const BitStream &encoded,
+               const CompressedSize &size) const override
+    {
+        cmpsim_assert(!size.isCompressed());
+        LineData line{};
+        BitReader rd(encoded);
+        for (unsigned q = 0; q < kLineBytes / 8; ++q)
+            setLineQword(line, q, rd.get(64));
+        return line;
+    }
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_COMPRESSION_NULL_COMPRESSOR_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The dynamic instruction record the core timing model consumes from a
+ * workload's instruction stream.
+ */
+
+#ifndef CMPSIM_CORE_INSTRUCTION_H
+#define CMPSIM_CORE_INSTRUCTION_H
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace cmpsim {
+
+/** Dynamic instruction classes the timing model distinguishes. */
+enum class InstrType : std::uint8_t
+{
+    Alu,    ///< any non-memory, non-branch operation
+    Load,
+    Store,
+    Branch,
+};
+
+/** One dynamic instruction. */
+struct Instruction
+{
+    InstrType type = InstrType::Alu;
+
+    /** Instruction address (drives I-cache behaviour). */
+    Addr pc = 0;
+
+    /** Data address for Load/Store. */
+    Addr addr = 0;
+
+    /** Store data (one 32-bit word written at addr). */
+    std::uint32_t store_value = 0;
+
+    /** Branch only: the front end mispredicts this branch. */
+    bool mispredict = false;
+
+    /**
+     * Load/Store only: the address depends on the value returned by
+     * the previous chained load (pointer chasing). The core cannot
+     * issue this access until that load completes, serializing the
+     * chain's misses — the memory-level-parallelism killer that makes
+     * commercial workloads latency-bound.
+     */
+    bool chained = false;
+};
+
+/** Source of dynamic instructions; implemented by workloads. */
+class InstructionStream
+{
+  public:
+    virtual ~InstructionStream() = default;
+
+    /** Produce the next dynamic instruction (infinite stream). */
+    virtual Instruction next() = 0;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_CORE_INSTRUCTION_H

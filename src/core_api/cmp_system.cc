@@ -1,0 +1,236 @@
+#include "src/core_api/cmp_system.h"
+
+#include <algorithm>
+#include <string>
+
+namespace cmpsim {
+
+namespace {
+/** Cycles between effective-cache-size samples (Table 3 methodology:
+ *  "periodically measuring the average effective cache size"). */
+constexpr Cycle kRatioSampleInterval = 20000;
+
+/** Functional warmup interleaves cores in chunks this large so the
+ *  shared region and the L2 see a realistic interleaving. */
+constexpr std::uint64_t kWarmupChunk = 2000;
+} // namespace
+
+CmpSystem::CmpSystem(const SystemConfig &config,
+                     const WorkloadParams &workload)
+    : config_(config), workload_(workload.scaled(config.scale))
+{
+    buildSystem();
+}
+
+CmpSystem::~CmpSystem() = default;
+
+void
+CmpSystem::buildSystem()
+{
+    values_ = std::make_unique<ValueStore>(fpc_);
+    memory_ =
+        std::make_unique<MainMemory>(eq_, *values_, config_.memoryParams());
+    l2_ = std::make_unique<L2Cache>(eq_, *values_, *memory_,
+                                    config_.l2Params());
+
+    const L1Params l1d_params = config_.l1Params();
+    L1Params l1i_params = l1d_params;
+    l1i_params.mshrs = 4; // sequential fetch + a few prefetches
+    l1i_params.prefetch_headroom = 1;
+
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        l1i_.push_back(
+            std::make_unique<L1Cache>(eq_, *l2_, c, l1i_params));
+        l1d_.push_back(
+            std::make_unique<L1Cache>(eq_, *l2_, c, l1d_params));
+    }
+
+    l2_->setL1Invalidator([this](unsigned cpu, Addr line) {
+        const bool d_dirty = l1d_[cpu]->invalidateLine(line);
+        const bool i_dirty = l1i_[cpu]->invalidateLine(line);
+        return d_dirty || i_dirty;
+    });
+    l2_->setL1Downgrader([this](unsigned cpu, Addr line) {
+        l1d_[cpu]->downgradeLine(line);
+        l1i_[cpu]->downgradeLine(line);
+    });
+
+    if (config_.prefetching) {
+        for (unsigned c = 0; c < config_.cores; ++c) {
+            pf_l1i_.push_back(std::make_unique<StridePrefetcher>(
+                config_.l1PrefetcherParams()));
+            pf_l1d_.push_back(std::make_unique<StridePrefetcher>(
+                config_.l1PrefetcherParams()));
+            ad_l1i_.push_back(
+                std::make_unique<AdaptivePrefetchController>(
+                    config_.l1_startup_prefetches,
+                    config_.adaptive_prefetch));
+            ad_l1d_.push_back(
+                std::make_unique<AdaptivePrefetchController>(
+                    config_.l1_startup_prefetches,
+                    config_.adaptive_prefetch));
+            l1i_[c]->setPrefetcher(pf_l1i_[c].get());
+            l1d_[c]->setPrefetcher(pf_l1d_[c].get());
+            l1i_[c]->setAdaptiveController(ad_l1i_[c].get());
+            l1d_[c]->setAdaptiveController(ad_l1d_[c].get());
+        }
+        // One saturating counter for the shared L2 (Section 3), with
+        // per-core L2 prefetch engines [7] (or one shared, ablation).
+        l2_adaptive_ = std::make_unique<AdaptivePrefetchController>(
+            config_.l2_startup_prefetches, config_.adaptive_prefetch);
+        l2_->setAdaptiveController(l2_adaptive_.get());
+        const unsigned engines =
+            config_.shared_l2_prefetcher ? 1 : config_.cores;
+        for (unsigned e = 0; e < engines; ++e) {
+            pf_l2_.push_back(std::make_unique<StridePrefetcher>(
+                config_.l2PrefetcherParams()));
+        }
+        for (unsigned c = 0; c < config_.cores; ++c) {
+            l2_->setPrefetcher(
+                c, pf_l2_[config_.shared_l2_prefetcher ? 0 : c].get());
+        }
+    }
+
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        streams_.push_back(std::make_unique<SyntheticWorkload>(
+            workload_, *values_, c, config_.seed));
+        cores_.push_back(std::make_unique<CoreModel>(
+            eq_, *l1i_[c], *l1d_[c], *values_, *streams_[c], c,
+            config_.coreParams()));
+    }
+
+    // Stat registration.
+    l2_->registerStats(registry_, "l2");
+    memory_->registerStats(registry_, "mem");
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        const std::string idx = std::to_string(c);
+        l1i_[c]->registerStats(registry_, "l1i." + idx);
+        l1d_[c]->registerStats(registry_, "l1d." + idx);
+        cores_[c]->registerStats(registry_, "core." + idx);
+        if (config_.prefetching) {
+            pf_l1i_[c]->registerStats(registry_, "pf.l1i." + idx);
+            pf_l1d_[c]->registerStats(registry_, "pf.l1d." + idx);
+            ad_l1i_[c]->registerStats(registry_, "ad.l1i." + idx);
+            ad_l1d_[c]->registerStats(registry_, "ad.l1d." + idx);
+        }
+    }
+    if (config_.prefetching) {
+        for (unsigned e = 0; e < pf_l2_.size(); ++e) {
+            pf_l2_[e]->registerStats(registry_,
+                                     "pf.l2." + std::to_string(e));
+        }
+        l2_adaptive_->registerStats(registry_, "ad.l2");
+    }
+}
+
+void
+CmpSystem::resetAllStats()
+{
+    registry_.resetAll();
+    memory_->resetStats();
+    l2_->resetStats();
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        l1i_[c]->resetStats();
+        l1d_[c]->resetStats();
+        cores_[c]->resetStats();
+    }
+    if (config_.prefetching) {
+        for (auto &p : pf_l1i_)
+            p->resetStats();
+        for (auto &p : pf_l1d_)
+            p->resetStats();
+        for (auto &p : pf_l2_)
+            p->resetStats();
+        for (auto &a : ad_l1i_)
+            a->resetStats();
+        for (auto &a : ad_l1d_)
+            a->resetStats();
+        l2_adaptive_->resetStats();
+    }
+    ratio_samples_.reset();
+}
+
+void
+CmpSystem::warmup(std::uint64_t instr_per_core)
+{
+    l2_->setFunctionalMode(true);
+    std::uint64_t done = 0;
+    while (done < instr_per_core) {
+        const std::uint64_t chunk =
+            std::min(kWarmupChunk, instr_per_core - done);
+        for (auto &core : cores_)
+            core->runFunctional(chunk);
+        done += chunk;
+    }
+    l2_->setFunctionalMode(false);
+    resetAllStats();
+}
+
+void
+CmpSystem::run(std::uint64_t instr_per_core)
+{
+    const Cycle start = eq_.now();
+    std::uint64_t start_retired = 0;
+    for (auto &core : cores_)
+        start_retired += core->instructionsRetired();
+    const std::uint64_t target =
+        start_retired + instr_per_core * config_.cores;
+
+    Cycle now = start;
+    Cycle next_sample = start + kRatioSampleInterval;
+    std::uint64_t retired = start_retired;
+
+    while (retired < target) {
+        Cycle next = eq_.nextEventCycle();
+        for (auto &core : cores_)
+            next = std::min(next, core->nextWake());
+        if (next == kCycleNever)
+            cmpsim_panic("simulation deadlock: no events, no core work");
+        if (next < now)
+            next = now;
+
+        eq_.advanceTo(next);
+        now = next;
+
+        retired = 0;
+        for (auto &core : cores_) {
+            if (core->nextWake() <= now)
+                core->tick(now);
+            retired += core->instructionsRetired();
+        }
+
+        if (now >= next_sample) {
+            ratio_samples_.sample(l2_->compressionRatio());
+            next_sample = now + kRatioSampleInterval;
+        }
+    }
+
+    ratio_samples_.sample(l2_->compressionRatio());
+    measured_cycles_ = now - start;
+    measured_instructions_ = retired - start_retired;
+}
+
+double
+CmpSystem::bandwidthGBps() const
+{
+    if (measured_cycles_ == 0)
+        return 0.0;
+    const double bytes_per_cycle =
+        static_cast<double>(memory_->link().totalBytes()) /
+        static_cast<double>(measured_cycles_);
+    return bytes_per_cycle * 5.0; // 5 GHz, GB = 1e9 bytes
+}
+
+std::uint64_t
+CmpSystem::sumL1Counter(const char *side, const char *leaf) const
+{
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        const std::string name = std::string(side) + "." +
+                                 std::to_string(c) + "." + leaf;
+        total += registry_.counter(name);
+    }
+    return total;
+}
+
+} // namespace cmpsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * CmpSystem: the fully wired CMP of the paper — cores, split L1s,
+ * per-core L1I/L1D/L2 stride prefetchers, adaptive controllers, the
+ * banked shared compressed L2, the pin link with optional link
+ * compression, and DRAM — built from a SystemConfig plus a workload,
+ * with functional warmup and a timed run loop.
+ *
+ * This is the library's primary entry point:
+ *
+ *     CmpSystem sys(makeConfig(8, 4, true, true, true, true),
+ *                   benchmarkParams("zeus"));
+ *     sys.warmup(200'000);
+ *     sys.run(50'000);
+ *     double speedup_input = sys.cycles();
+ */
+
+#ifndef CMPSIM_CORE_API_CMP_SYSTEM_H
+#define CMPSIM_CORE_API_CMP_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "src/compression/fpc.h"
+#include "src/core_api/system_config.h"
+#include "src/workload/synthetic_workload.h"
+
+namespace cmpsim {
+
+/** A complete simulated CMP. */
+class CmpSystem
+{
+  public:
+    CmpSystem(const SystemConfig &config, const WorkloadParams &workload);
+    ~CmpSystem();
+
+    CmpSystem(const CmpSystem &) = delete;
+    CmpSystem &operator=(const CmpSystem &) = delete;
+
+    /**
+     * Functional cache warmup: every core executes @p instr_per_core
+     * instructions updating cache/directory/prefetcher state with no
+     * timing. Stats are reset afterwards.
+     */
+    void warmup(std::uint64_t instr_per_core);
+
+    /**
+     * Timed simulation until the cores together retire
+     * @p instr_per_core x cores instructions (measured from the call).
+     */
+    void run(std::uint64_t instr_per_core);
+
+    /** Cycles elapsed during run(). */
+    Cycle cycles() const { return measured_cycles_; }
+
+    /** Instructions retired during run(). */
+    std::uint64_t instructions() const { return measured_instructions_; }
+
+    double
+    ipc() const
+    {
+        return measured_cycles_ == 0
+                   ? 0.0
+                   : static_cast<double>(measured_instructions_) /
+                         static_cast<double>(measured_cycles_);
+    }
+
+    /**
+     * Off-chip bandwidth consumed during run(), in GB/s at the 5 GHz
+     * clock (the paper's Figure 4/7 metric when the config has
+     * infinite_bandwidth set).
+     */
+    double bandwidthGBps() const;
+
+    /** Mean L2 compression ratio over the periodic samples. */
+    double compressionRatio() const { return ratio_samples_.mean(); }
+
+    // Component access for stats and tests.
+    const SystemConfig &config() const { return config_; }
+    const WorkloadParams &workload() const { return workload_; }
+    L2Cache &l2() { return *l2_; }
+    const L2Cache &l2() const { return *l2_; }
+    MainMemory &memory() { return *memory_; }
+    L1Cache &l1i(unsigned cpu) { return *l1i_[cpu]; }
+    L1Cache &l1d(unsigned cpu) { return *l1d_[cpu]; }
+    CoreModel &core(unsigned cpu) { return *cores_[cpu]; }
+    StatRegistry &stats() { return registry_; }
+    AdaptivePrefetchController &l2Adaptive() { return *l2_adaptive_; }
+
+    /** Sum a per-core counter family ("l1d.<cpu>.<leaf>"). */
+    std::uint64_t sumL1Counter(const char *side, const char *leaf) const;
+
+  private:
+    void buildSystem();
+    void resetAllStats();
+
+    SystemConfig config_;
+    WorkloadParams workload_;
+
+    EventQueue eq_;
+    FpcCompressor fpc_;
+    std::unique_ptr<ValueStore> values_;
+    std::unique_ptr<MainMemory> memory_;
+    std::unique_ptr<L2Cache> l2_;
+    std::vector<std::unique_ptr<L1Cache>> l1i_;
+    std::vector<std::unique_ptr<L1Cache>> l1d_;
+    std::vector<std::unique_ptr<StridePrefetcher>> pf_l1i_;
+    std::vector<std::unique_ptr<StridePrefetcher>> pf_l1d_;
+    std::vector<std::unique_ptr<StridePrefetcher>> pf_l2_;
+    std::vector<std::unique_ptr<AdaptivePrefetchController>> ad_l1i_;
+    std::vector<std::unique_ptr<AdaptivePrefetchController>> ad_l1d_;
+    std::unique_ptr<AdaptivePrefetchController> l2_adaptive_;
+    std::vector<std::unique_ptr<SyntheticWorkload>> streams_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+
+    StatRegistry registry_;
+    Average ratio_samples_;
+
+    Cycle measured_cycles_ = 0;
+    std::uint64_t measured_instructions_ = 0;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_CORE_API_CMP_SYSTEM_H

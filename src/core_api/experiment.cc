@@ -1,0 +1,154 @@
+#include "src/core_api/experiment.h"
+
+#include <cstdlib>
+
+namespace cmpsim {
+
+namespace {
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    const auto parsed = std::strtoull(v, &end, 10);
+    if (end == v || parsed == 0)
+        cmpsim_fatal("bad value for %s: %s", name, v);
+    return parsed;
+}
+
+RunResult::PfMetrics
+pfMetrics(double issued, double hits, double demand_misses,
+          double kilo_instr)
+{
+    RunResult::PfMetrics m;
+    m.rate_per_kilo_instr = kilo_instr > 0 ? issued / kilo_instr : 0;
+    const double denom = hits + demand_misses;
+    m.coverage_pct = denom > 0 ? 100.0 * hits / denom : 0;
+    m.accuracy_pct = issued > 0 ? 100.0 * hits / issued : 0;
+    return m;
+}
+
+} // namespace
+
+unsigned
+defaultScale()
+{
+    return static_cast<unsigned>(envOr("CMPSIM_SCALE", 4));
+}
+
+RunLengths
+defaultRunLengths()
+{
+    RunLengths l;
+    l.warmup_per_core = envOr("CMPSIM_WARMUP", 400000);
+    l.measure_per_core = envOr("CMPSIM_MEASURE", 50000);
+    return l;
+}
+
+unsigned
+defaultSeeds()
+{
+    return static_cast<unsigned>(envOr("CMPSIM_SEEDS", 2));
+}
+
+RunResult
+runOnce(const SystemConfig &config, const std::string &benchmark,
+        const RunLengths &lengths)
+{
+    CmpSystem sys(config, benchmarkParams(benchmark));
+    sys.warmup(lengths.warmup_per_core);
+    sys.run(lengths.measure_per_core);
+
+    RunResult r;
+    r.cycles = static_cast<double>(sys.cycles());
+    r.instructions = static_cast<double>(sys.instructions());
+    r.ipc = sys.ipc();
+
+    const auto &reg = sys.stats();
+    r.l2_demand_misses =
+        static_cast<double>(reg.counter("l2.demand_misses"));
+    r.l2_demand_accesses =
+        static_cast<double>(reg.counter("l2.demand_accesses"));
+    r.l2_miss_rate = r.l2_demand_accesses > 0
+                         ? r.l2_demand_misses / r.l2_demand_accesses
+                         : 0;
+    const double kilo_instr = r.instructions / 1000.0;
+    r.l2_misses_per_kilo_instr =
+        kilo_instr > 0 ? r.l2_demand_misses / kilo_instr : 0;
+
+    r.bandwidth_gbps = sys.bandwidthGBps();
+    r.compression_ratio = sys.compressionRatio();
+    r.penalized_hits =
+        static_cast<double>(reg.counter("l2.penalized_hits"));
+
+    if (config.prefetching) {
+        const double l1i_issued =
+            static_cast<double>(sys.sumL1Counter("l1i", "pf_issued"));
+        const double l1i_hits =
+            static_cast<double>(sys.sumL1Counter("l1i", "pf_hits"));
+        const double l1i_misses =
+            static_cast<double>(sys.sumL1Counter("l1i", "misses"));
+        r.l1i = pfMetrics(l1i_issued, l1i_hits, l1i_misses, kilo_instr);
+
+        const double l1d_issued =
+            static_cast<double>(sys.sumL1Counter("l1d", "pf_issued"));
+        const double l1d_hits =
+            static_cast<double>(sys.sumL1Counter("l1d", "pf_hits"));
+        const double l1d_misses =
+            static_cast<double>(sys.sumL1Counter("l1d", "misses"));
+        r.l1d = pfMetrics(l1d_issued, l1d_hits, l1d_misses, kilo_instr);
+
+        const double l2_issued =
+            static_cast<double>(reg.counter("l2.l2pf_issued"));
+        const double l2_hits =
+            static_cast<double>(reg.counter("l2.pf_hits_l2"));
+        r.l2pf = pfMetrics(l2_issued, l2_hits, r.l2_demand_misses,
+                           kilo_instr);
+
+        r.l2_adaptive_counter = sys.l2Adaptive().counterValue();
+        r.useful_prefetches =
+            static_cast<double>(reg.counter("ad.l2.useful"));
+        r.useless_prefetches =
+            static_cast<double>(reg.counter("ad.l2.useless"));
+        r.harmful_flags =
+            static_cast<double>(reg.counter("ad.l2.harmful"));
+    }
+    r.victim_tags_per_set = sys.l2().meanVictimTags();
+    return r;
+}
+
+MetricSummary
+runSeeds(SystemConfig config, const std::string &benchmark,
+         const RunLengths &lengths, unsigned seeds)
+{
+    cmpsim_assert(seeds >= 1);
+    MetricSummary summary;
+    std::vector<double> cycle_samples;
+    for (unsigned s = 0; s < seeds; ++s) {
+        config.seed = s + 1;
+        summary.runs.push_back(runOnce(config, benchmark, lengths));
+        cycle_samples.push_back(summary.runs.back().cycles);
+    }
+    summary.cycles = summarize(cycle_samples);
+    return summary;
+}
+
+double
+meanCycles(const MetricSummary &s)
+{
+    return s.cycles.mean;
+}
+
+double
+meanOf(const MetricSummary &s, double (*extract)(const RunResult &))
+{
+    double total = 0;
+    for (const auto &r : s.runs)
+        total += extract(r);
+    return s.runs.empty() ? 0 : total / static_cast<double>(s.runs.size());
+}
+
+} // namespace cmpsim

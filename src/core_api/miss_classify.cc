@@ -1,0 +1,80 @@
+#include "src/core_api/miss_classify.h"
+
+#include <algorithm>
+
+namespace cmpsim {
+
+std::uint64_t
+MissProfile::totalDemandMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[line, count] : demand_) {
+        (void)line;
+        n += count;
+    }
+    return n;
+}
+
+std::uint64_t
+MissProfile::totalPrefetchFills() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[line, count] : prefetch_) {
+        (void)line;
+        n += count;
+    }
+    return n;
+}
+
+MissClassification
+classifyMisses(const MissProfile &base,
+               const MissProfile &with_compression,
+               const MissProfile &with_prefetching,
+               const MissProfile &with_both)
+{
+    MissClassification out;
+    const double total =
+        static_cast<double>(base.totalDemandMisses());
+    if (total == 0)
+        return out;
+
+    auto count_in = [](const std::unordered_map<Addr, std::uint32_t> &m,
+                       Addr line) -> double {
+        auto it = m.find(line);
+        return it == m.end() ? 0.0 : static_cast<double>(it->second);
+    };
+
+    double only_c = 0, only_p = 0, either = 0, unavoidable = 0;
+    for (const auto &[line, base_count] : base.demand()) {
+        const double b = static_cast<double>(base_count);
+        const double avoided_c = std::max(
+            0.0, b - count_in(with_compression.demand(), line));
+        const double avoided_p = std::max(
+            0.0, b - count_in(with_prefetching.demand(), line));
+        const double both = std::min(avoided_c, avoided_p);
+        only_c += avoided_c - both;
+        only_p += avoided_p - both;
+        either += both;
+        unavoidable += b - (avoided_c - both) - (avoided_p - both) - both;
+    }
+
+    out.unavoidable = unavoidable / total;
+    out.only_compression = only_c / total;
+    out.only_prefetching = only_p / total;
+    out.either = either / total;
+
+    // Prefetch classes: fills issued with prefetching alone vs with
+    // compression added.
+    double kept = 0, avoided = 0;
+    for (const auto &[line, p_count] : with_prefetching.prefetches()) {
+        const double p = static_cast<double>(p_count);
+        const double cp = count_in(with_both.prefetches(), line);
+        kept += std::min(p, cp);
+        avoided += std::max(0.0, p - cp);
+    }
+    out.prefetches_kept = kept / total;
+    out.prefetches_avoided = avoided / total;
+    return out;
+}
+
+} // namespace cmpsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * L2 miss classification for the paper's Figure 8: how many demand
+ * misses can be avoided by compression, by prefetching, by either, or
+ * by neither, plus how many prefetches compression eliminates.
+ *
+ * The paper estimates these sets by comparing miss profiles across
+ * configurations with inclusion-exclusion; we do the same but with
+ * exact per-line miss counts recorded by the L2's miss observer, so
+ * the intersection is computed per address rather than globally:
+ *
+ *   avoided_by_C(l)   = max(0, base(l) - withC(l))
+ *   avoided_by_P(l)   = max(0, base(l) - withP(l))
+ *   avoided_either(l) = min(avoided_by_C, avoided_by_P)  [intersection]
+ *
+ * summed over lines l. Prefetch classes compare prefetch-fill counts
+ * between the P and CP configurations.
+ */
+
+#ifndef CMPSIM_CORE_API_MISS_CLASSIFY_H
+#define CMPSIM_CORE_API_MISS_CLASSIFY_H
+
+#include <unordered_map>
+
+#include "src/cache/request_types.h"
+#include "src/common/types.h"
+
+namespace cmpsim {
+
+/** Per-line demand-miss and prefetch-fill counts from one run. */
+class MissProfile
+{
+  public:
+    /** Wire as the L2 miss observer. */
+    void
+    record(ReqType type, Addr line)
+    {
+        if (type == ReqType::Demand)
+            ++demand_[line];
+        else
+            ++prefetch_[line];
+    }
+
+    std::uint64_t totalDemandMisses() const;
+    std::uint64_t totalPrefetchFills() const;
+
+    const std::unordered_map<Addr, std::uint32_t> &demand() const
+    {
+        return demand_;
+    }
+    const std::unordered_map<Addr, std::uint32_t> &prefetches() const
+    {
+        return prefetch_;
+    }
+
+  private:
+    std::unordered_map<Addr, std::uint32_t> demand_;
+    std::unordered_map<Addr, std::uint32_t> prefetch_;
+};
+
+/** Figure 8's six access classes, as fractions of base demand misses
+ *  (the figure's 100% line). */
+struct MissClassification
+{
+    double unavoidable = 0;       ///< missed in every config
+    double only_compression = 0;  ///< avoided only by L2 compression
+    double only_prefetching = 0;  ///< avoided only by L2 prefetching
+    double either = 0;            ///< avoided by either technique
+    double prefetches_kept = 0;   ///< prefetch fills surviving compression
+    double prefetches_avoided = 0;///< prefetch fills compression removes
+
+    double
+    totalDemandFraction() const
+    {
+        return unavoidable + only_compression + only_prefetching +
+               either;
+    }
+};
+
+/**
+ * Combine four profiles (base, compression-only, prefetch-only, both)
+ * into the Figure 8 classification.
+ */
+MissClassification classifyMisses(const MissProfile &base,
+                                  const MissProfile &with_compression,
+                                  const MissProfile &with_prefetching,
+                                  const MissProfile &with_both);
+
+} // namespace cmpsim
+
+#endif // CMPSIM_CORE_API_MISS_CLASSIFY_H

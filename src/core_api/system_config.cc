@@ -1,0 +1,99 @@
+#include "src/core_api/system_config.h"
+
+#include "src/common/log.h"
+
+namespace cmpsim {
+
+L1Params
+SystemConfig::l1Params() const
+{
+    L1Params p;
+    // 64 KB, 4-way, 64 B lines -> 256 sets at full scale. The L1
+    // shrinks at half the system scale rate: scaling it 1:1 with the
+    // L2 starves it relative to real workload locality and floods the
+    // L2 with accesses the paper's 64 KB L1s would have absorbed.
+    p.sets = std::max(256u / std::max(1u, scale / 2), 4u);
+    p.ways = 4;
+    p.victim_tags = adaptive_prefetch ? extra_victim_tags : 0;
+    p.hit_latency = 3;
+    p.mshrs = 16;
+    return p;
+}
+
+L2Params
+SystemConfig::l2Params() const
+{
+    L2Params p;
+    if (cache_compression) {
+        // 4 MB of data as 16 K sets x (8 tags over 32 segments).
+        p.sets = std::max(16384u / scale, 16u);
+        p.tags_per_set = 8;
+        p.segment_budget = wide_compressed_sets ? 64 : 32;
+        p.compressed = true;
+    } else {
+        // Plain 4 MB 8-way: 8 K sets. Adaptive prefetching borrows
+        // the compression hardware's spare tags as victim tags.
+        p.sets = std::max(8192u / scale, 16u);
+        p.tags_per_set = 8 + (adaptive_prefetch ? extra_victim_tags : 0);
+        p.segment_budget = 64;
+        p.compressed = false;
+    }
+    p.banks = 8;
+    p.cores = cores;
+    p.decompression_latency = decompression_latency;
+    p.adaptive_compression = adaptive_compression;
+    p.l1_prefetch_trains_l2 = l1_prefetch_triggers_l2;
+    return p;
+}
+
+MemoryParams
+SystemConfig::memoryParams() const
+{
+    MemoryParams p;
+    p.dram_latency = 400;
+    p.link_bytes_per_cycle = bytesPerCycle(pin_bandwidth_gbps);
+    p.infinite_bandwidth = infinite_bandwidth;
+    p.link_compression = link_compression;
+    return p;
+}
+
+CoreParams
+SystemConfig::coreParams() const
+{
+    return CoreParams{};
+}
+
+PrefetcherParams
+SystemConfig::l1PrefetcherParams() const
+{
+    PrefetcherParams p;
+    p.startup_prefetches = l1_startup_prefetches;
+    return p;
+}
+
+PrefetcherParams
+SystemConfig::l2PrefetcherParams() const
+{
+    PrefetcherParams p;
+    p.startup_prefetches = l2_startup_prefetches;
+    return p;
+}
+
+SystemConfig
+makeConfig(unsigned cores, unsigned scale, bool cache_compression,
+           bool link_compression, bool prefetching, bool adaptive,
+           double pin_bandwidth_gbps)
+{
+    cmpsim_assert(cores >= 1 && cores <= kMaxCores);
+    SystemConfig c;
+    c.cores = cores;
+    c.scale = scale;
+    c.cache_compression = cache_compression;
+    c.link_compression = link_compression;
+    c.prefetching = prefetching;
+    c.adaptive_prefetch = adaptive;
+    c.pin_bandwidth_gbps = pin_bandwidth_gbps;
+    return c;
+}
+
+} // namespace cmpsim

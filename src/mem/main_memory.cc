@@ -1,0 +1,84 @@
+#include "src/mem/main_memory.h"
+
+namespace cmpsim {
+
+MainMemory::MainMemory(EventQueue &eq, ValueStore &values,
+                       const MemoryParams &params)
+    : eq_(eq), values_(values), params_(params),
+      link_(eq, params.link_bytes_per_cycle, params.infinite_bandwidth)
+{
+}
+
+unsigned
+MainMemory::dataSegments(Addr line_addr)
+{
+    return params_.link_compression ? values_.segments(line_addr)
+                                    : kSegmentsPerLine;
+}
+
+void
+MainMemory::fetchLine(Addr line_addr, Cycle when, bool prefetch,
+                      FetchCallback done)
+{
+    ++reads_;
+    ++header_flits_;
+    const LinkClass cls =
+        prefetch ? LinkClass::Prefetch : LinkClass::Demand;
+
+    // Request message toward memory, then DRAM, then the data message
+    // back. The data message enters the link queue only when DRAM has
+    // produced it.
+    link_.send(
+        kMessageHeaderBytes, cls, when,
+        [this, line_addr, when, cls,
+         done = std::move(done)](Cycle req_arrives) mutable {
+            const Cycle dram_done = req_arrives + params_.dram_latency;
+            const unsigned segments = dataSegments(line_addr);
+            ++header_flits_;
+            data_flits_ += segments;
+            const unsigned bytes =
+                kMessageHeaderBytes + segments * kSegmentBytes;
+            link_.send(bytes, cls, dram_done,
+                       [this, when, done = std::move(done)](Cycle at) {
+                           read_latency_.sample(
+                               static_cast<double>(at - when));
+                           done(at);
+                       });
+        });
+}
+
+void
+MainMemory::writebackLine(Addr line_addr, Cycle when)
+{
+    ++writebacks_;
+    ++header_flits_;
+    const unsigned segments = dataSegments(line_addr);
+    data_flits_ += segments;
+    const unsigned bytes =
+        kMessageHeaderBytes + segments * kSegmentBytes;
+    link_.send(bytes, LinkClass::Writeback, when, nullptr);
+}
+
+void
+MainMemory::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.registerCounter(prefix + ".reads", &reads_);
+    reg.registerCounter(prefix + ".writebacks", &writebacks_);
+    reg.registerCounter(prefix + ".data_flits", &data_flits_);
+    reg.registerCounter(prefix + ".header_flits", &header_flits_);
+    reg.registerAverage(prefix + ".read_latency", &read_latency_);
+    link_.registerStats(reg, prefix + ".link");
+}
+
+void
+MainMemory::resetStats()
+{
+    reads_.reset();
+    writebacks_.reset();
+    data_flits_.reset();
+    header_flits_.reset();
+    read_latency_.reset();
+    link_.resetStats();
+}
+
+} // namespace cmpsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Off-chip memory subsystem: the priority-arbitrated pin link, the
+ * memory controller and the DRAM array, matching the paper's memory
+ * interface (Section 2): 400-cycle DRAM access, 20 GB/s chip-to-memory
+ * bandwidth, variable-length compressed message formats when link
+ * compression is enabled, and lines stored in memory in the form the
+ * chip sent them (the ECC meta-bit trick), which our value-store model
+ * gives us for free because both sides use the same compressor.
+ *
+ * Message framing: every message carries one 8-byte header flit; data
+ * messages add one 8-byte flit per stored segment (1-8 compressed,
+ * 8 uncompressed).
+ */
+
+#ifndef CMPSIM_MEM_MAIN_MEMORY_H
+#define CMPSIM_MEM_MAIN_MEMORY_H
+
+#include <functional>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/mem/priority_link.h"
+#include "src/mem/value_store.h"
+#include "src/sim/event_queue.h"
+
+namespace cmpsim {
+
+/** Configuration of the off-chip memory path. */
+struct MemoryParams
+{
+    /** DRAM access latency in cycles (row + column + controller). */
+    Cycle dram_latency = 400;
+
+    /** Pin bandwidth in bytes per core cycle (20 GB/s @ 5 GHz = 4). */
+    double link_bytes_per_cycle = 4.0;
+
+    /** Measure demand: remove queuing from the link. */
+    bool infinite_bandwidth = false;
+
+    /** Compress data payloads on the link (paper's link compression). */
+    bool link_compression = false;
+};
+
+/** DRAM + controller + pin link. */
+class MainMemory
+{
+  public:
+    using FetchCallback = std::function<void(Cycle)>;
+
+    MainMemory(EventQueue &eq, ValueStore &values,
+               const MemoryParams &params);
+
+    /**
+     * Fetch the line at @p line_addr; @p done runs at the cycle the
+     * full data message has crossed the link onto the chip.
+     *
+     * @param when cycle the request message is ready to leave the chip
+     * @param prefetch arbitrate below demand fetches and writebacks
+     */
+    void fetchLine(Addr line_addr, Cycle when, bool prefetch,
+                   FetchCallback done);
+
+    /** Write the line at @p line_addr back to memory (no response). */
+    void writebackLine(Addr line_addr, Cycle when);
+
+    /** Pin-interface accounting. */
+    const PriorityLink &link() const { return link_; }
+    PriorityLink &link() { return link_; }
+
+    std::uint64_t reads() const { return reads_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+    std::uint64_t dataFlits() const { return data_flits_.value(); }
+    std::uint64_t headerFlits() const { return header_flits_.value(); }
+
+    void registerStats(StatRegistry &reg, const std::string &prefix);
+    void resetStats();
+
+    const MemoryParams &params() const { return params_; }
+
+  private:
+    /** Payload segments for a data message for @p line_addr. */
+    unsigned dataSegments(Addr line_addr);
+
+    EventQueue &eq_;
+    ValueStore &values_;
+    MemoryParams params_;
+    PriorityLink link_;
+
+    Counter reads_;
+    Counter writebacks_;
+    Counter data_flits_;
+    Counter header_flits_;
+    Average read_latency_;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_MEM_MAIN_MEMORY_H

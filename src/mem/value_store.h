@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Backing store for the value contents of every simulated line.
+ *
+ * cmpsim keeps one authoritative copy of each line's bytes (the caches
+ * move metadata, not payloads) and memoizes the FPC-compressed segment
+ * count per line, invalidating it on writes. This is a simulator
+ * convenience, not an architectural statement: stores update values
+ * immediately while the timing model still charges write-back traffic,
+ * so compressed sizes always reflect current data.
+ */
+
+#ifndef CMPSIM_MEM_VALUE_STORE_H
+#define CMPSIM_MEM_VALUE_STORE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/line_data.h"
+#include "src/common/types.h"
+#include "src/compression/compressor.h"
+
+namespace cmpsim {
+
+/** Line-value owner + compressed-size memo. */
+class ValueStore
+{
+  public:
+    /** @param compressor sizing algorithm; must outlive the store. */
+    explicit ValueStore(const Compressor &compressor)
+        : compressor_(compressor)
+    {
+    }
+
+    /** True when @p addr's line has been given a value. */
+    bool
+    hasLine(Addr addr) const
+    {
+        return lines_.count(lineAddr(addr)) != 0;
+    }
+
+    /**
+     * Read the line containing @p addr; absent lines read as zero
+     * (zero-fill semantics, like untouched DRAM in the paper's
+     * functional simulator).
+     */
+    const LineData &
+    line(Addr addr) const
+    {
+        static const LineData zero{};
+        auto it = lines_.find(lineAddr(addr));
+        return it == lines_.end() ? zero : it->second.data;
+    }
+
+    /** Replace the whole line containing @p addr. */
+    void
+    setLine(Addr addr, const LineData &data)
+    {
+        auto &e = lines_[lineAddr(addr)];
+        e.data = data;
+        e.segments_valid = false;
+    }
+
+    /** Write one 32-bit word at byte offset @p offset within the line. */
+    void
+    writeWord(Addr addr, std::uint32_t value)
+    {
+        auto &e = lines_[lineAddr(addr)];
+        setLineWord(e.data, lineOffset(addr) / 4, value);
+        e.segments_valid = false;
+    }
+
+    /**
+     * Compressed size, in 8-byte segments, of the line containing
+     * @p addr under the store's compressor. Memoized per line.
+     */
+    unsigned
+    segments(Addr addr)
+    {
+        auto it = lines_.find(lineAddr(addr));
+        if (it == lines_.end())
+            return zero_segments();
+        auto &e = it->second;
+        if (!e.segments_valid) {
+            e.segments = compressor_.compressedSegments(e.data);
+            e.segments_valid = true;
+        }
+        return e.segments;
+    }
+
+    std::size_t lineCount() const { return lines_.size(); }
+
+    const Compressor &compressor() const { return compressor_; }
+
+  private:
+    struct Entry
+    {
+        LineData data{};
+        unsigned segments = 0;
+        bool segments_valid = false;
+    };
+
+    unsigned
+    zero_segments()
+    {
+        if (zero_segments_ == 0)
+            zero_segments_ = compressor_.compressedSegments(LineData{});
+        return zero_segments_;
+    }
+
+    const Compressor &compressor_;
+    std::unordered_map<Addr, Entry> lines_;
+    unsigned zero_segments_ = 0;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_MEM_VALUE_STORE_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Discrete-event simulation kernel: a time-ordered queue of callbacks.
+ *
+ * All timing components (caches, link, memory controller) schedule
+ * continuations on one shared EventQueue; the Simulator interleaves
+ * event execution with core-model ticks. Events at the same cycle run
+ * in scheduling order (stable), which keeps runs bit-reproducible.
+ */
+
+#ifndef CMPSIM_SIM_EVENT_QUEUE_H
+#define CMPSIM_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/common/types.h"
+
+namespace cmpsim {
+
+/** Time-ordered callback queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated cycle. */
+    Cycle now() const { return now_; }
+
+    /** Schedule @p cb at @p when. @pre when >= now(). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        cmpsim_assert(when >= now_);
+        heap_.push(Event{when, next_seq_++, std::move(cb)});
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Cycle of the earliest pending event (kCycleNever if none). */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap_.empty() ? kCycleNever : heap_.top().when;
+    }
+
+    /**
+     * Advance now() to @p when and run every event scheduled at or
+     * before it, in time order. @pre when >= now().
+     */
+    void
+    advanceTo(Cycle when)
+    {
+        cmpsim_assert(when >= now_);
+        while (!heap_.empty() && heap_.top().when <= when) {
+            // Pop before running: the callback may schedule more events.
+            Event ev = heap_.top();
+            heap_.pop();
+            now_ = ev.when;
+            ev.cb();
+        }
+        now_ = when;
+    }
+
+    /**
+     * Run events until the queue drains or @p limit cycles elapse.
+     * Used by unit tests and by components driven without cores.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    drain(Cycle limit = kCycleNever)
+    {
+        std::uint64_t executed = 0;
+        while (!heap_.empty() && heap_.top().when <= limit) {
+            Event ev = heap_.top();
+            heap_.pop();
+            now_ = ev.when;
+            ev.cb();
+            ++executed;
+        }
+        return executed;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Cycle now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_SIM_EVENT_QUEUE_H

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Parameter sets for the paper's eight workloads (Table 2), expressed
+ * as synthetic models. Each comment records the paper-measured
+ * properties the parameters were calibrated against: compression
+ * ratio (Table 3 / Section 4.2), prefetcher behaviour (Table 4), and
+ * bandwidth demand (Figure 4). EXPERIMENTS.md holds the resulting
+ * paper-vs-measured comparison.
+ */
+
+#include "src/workload/workload_params.h"
+
+#include "src/common/log.h"
+
+namespace cmpsim {
+
+namespace {
+
+/**
+ * apache: static web serving, OS/network heavy. Paper: large
+ * instruction footprint (L1I pf rate 4.9/1k), moderate stream quality
+ * (L2 coverage 37.7% @ 57.9% accuracy), compression ratio high
+ * (commercial 1.36-1.8 band), bandwidth demand 8.8 GB/s, compression
+ * cuts misses ~23%.
+ */
+WorkloadParams
+apacheParams()
+{
+    WorkloadParams p;
+    p.name = "apache";
+    p.load_frac = 0.24;
+    p.store_frac = 0.12;
+    p.branch_frac = 0.17;
+    p.mispredict_rate = 0.06;
+    p.branch_far_frac = 0.30;
+    p.i_footprint = 640 * 1024;
+    p.ws_private = 96 * 1024;
+    p.ws_shared = 1024 * 1024;
+    p.shared_frac = 0.09;
+    p.hot_frac = 0.85;
+    p.ws_hot = 32 * 1024;
+    p.ws_stream = 4096 * 1024;
+    p.stride_frac = 0.30;
+    p.stream_count = 4;
+    p.stream_len_min = 10;
+    p.stream_len_max = 56;
+    p.stride_bytes = {8, 8, 16, -8, 64, 128};
+    p.stream_reuse = 0.86;
+    p.zipf_s = 0.9;
+    p.loop_frac = 0.22;
+    p.loops = {{96 * 1024, 56}, {224 * 1024, 36}, {4096 * 1024, 6}};
+    p.values = {/*zero=*/0.32, /*small_int=*/0.22,
+                /*repeated_byte=*/0.05, /*pointer_pair=*/0.12};
+    p.stream_chain = 0.7;
+    return p;
+}
+
+/**
+ * zeus: event-driven web server, same data set as apache. Paper: L1I
+ * pf rate 7.1, better L1D streams (17.7% @ 79.2%), L2 44.4% @ 56%,
+ * prefetching alone +21%, compression +9.7%.
+ */
+WorkloadParams
+zeusParams()
+{
+    WorkloadParams p;
+    p.name = "zeus";
+    p.load_frac = 0.25;
+    p.store_frac = 0.11;
+    p.branch_frac = 0.16;
+    p.mispredict_rate = 0.055;
+    p.branch_far_frac = 0.28;
+    p.i_footprint = 448 * 1024;
+    p.ws_private = 96 * 1024;
+    p.ws_shared = 768 * 1024;
+    p.shared_frac = 0.08;
+    p.hot_frac = 0.85;
+    p.ws_hot = 32 * 1024;
+    p.ws_stream = 4096 * 1024;
+    p.stride_frac = 0.34;
+    p.stream_count = 4;
+    p.stream_len_min = 24;
+    p.stream_len_max = 96;
+    p.stride_bytes = {8, 8, 8, 16, 64, -8};
+    p.stream_reuse = 0.85;
+    p.zipf_s = 0.9;
+    p.loop_frac = 0.16;
+    p.loops = {{112 * 1024, 70}, {144 * 1024, 28}, {3072 * 1024, 2}};
+    p.values = {0.31, 0.20, 0.05, 0.12};
+    p.stream_chain = 0.9;
+    return p;
+}
+
+/**
+ * oltp: TPC-C on DB2. Paper: the largest instruction footprint (L1I
+ * pf rate 13.5/1k), poor stream quality (L2 26.4% @ 41.5%), the best
+ * compression ratio (~1.8 -> 7.2 MB effective), bandwidth demand only
+ * 5 GB/s, prefetching alone useless (+0.3%).
+ */
+WorkloadParams
+oltpParams()
+{
+    WorkloadParams p;
+    p.name = "oltp";
+    p.load_frac = 0.24;
+    p.store_frac = 0.13;
+    p.branch_frac = 0.18;
+    p.mispredict_rate = 0.07;
+    p.branch_far_frac = 0.35;
+    p.i_footprint = 1024 * 1024;
+    p.ws_private = 96 * 1024;
+    p.ws_shared = 1536 * 1024;
+    p.shared_frac = 0.12;
+    p.hot_frac = 0.85;
+    p.ws_hot = 32 * 1024;
+    p.ws_stream = 2048 * 1024;
+    p.stride_frac = 0.14;
+    p.stream_count = 4;
+    p.stream_len_min = 5;
+    p.stream_len_max = 24;
+    p.stride_bytes = {8, 8, 16, 64, -8, 192};
+    p.stream_reuse = 0.88;
+    p.zipf_s = 0.9;
+    p.loop_frac = 0.18;
+    p.loops = {{96 * 1024, 74}, {200 * 1024, 16}, {3072 * 1024, 10}};
+    p.values = {0.40, 0.26, 0.06, 0.10};
+    p.stream_chain = 0.5;
+    return p;
+}
+
+/**
+ * jbb: SPECjbb2000 on a JVM. Paper: small-ish code (L1I pf rate 1.8),
+ * short chaotic streams with the worst L2 accuracy (32.4%) — the
+ * workload non-adaptive prefetching *hurts* by 25% — and a working
+ * set near cache capacity so pollution matters; compression ratio at
+ * the bottom of the commercial band (~1.36).
+ */
+WorkloadParams
+jbbParams()
+{
+    WorkloadParams p;
+    p.name = "jbb";
+    p.load_frac = 0.26;
+    p.store_frac = 0.14;
+    p.branch_frac = 0.16;
+    p.mispredict_rate = 0.05;
+    p.branch_far_frac = 0.18;
+    p.i_footprint = 192 * 1024;
+    p.ws_private = 128 * 1024;
+    p.ws_shared = 768 * 1024;
+    p.shared_frac = 0.06;
+    p.hot_frac = 0.85;
+    p.ws_hot = 32 * 1024;
+    p.ws_stream = 4096 * 1024;
+    p.stride_frac = 0.34;
+    p.stream_count = 6;
+    p.stream_len_min = 5;
+    p.stream_len_max = 9;
+    p.stride_bytes = {8, 16, -8, 24, 64, 128};
+    p.stream_reuse = 0.75;
+    p.zipf_s = 0.9;
+    p.loop_frac = 0.18;
+    p.loops = {{112 * 1024, 66}, {176 * 1024, 10}, {2048 * 1024, 24}};
+    p.values = {0.26, 0.18, 0.04, 0.14};
+    p.stream_chain = 0.5;
+    return p;
+}
+
+/**
+ * art: neural-network simulation (SPEComp). Paper: negligible code
+ * misses, extreme L1D prefetch rate (56.3/1k) from dense array
+ * streaming, L2 56% @ 85%, compression ratio low (FP data), bandwidth
+ * 7.6 GB/s.
+ */
+WorkloadParams
+artParams()
+{
+    WorkloadParams p;
+    p.name = "art";
+    p.load_frac = 0.34;
+    p.store_frac = 0.08;
+    p.branch_frac = 0.09;
+    p.mispredict_rate = 0.02;
+    p.branch_far_frac = 0.05;
+    p.i_footprint = 8 * 1024;
+    p.ws_private = 64 * 1024;
+    p.ws_shared = 128 * 1024;
+    p.shared_frac = 0.02;
+    p.hot_frac = 0.6;
+    p.ws_hot = 16 * 1024;
+    p.ws_stream = 420 * 1024;
+    p.stride_frac = 0.80;
+    p.stream_count = 4;
+    p.stream_len_min = 64;
+    p.stream_len_max = 256;
+    p.stride_bytes = {4, 4, 4, 8};
+    p.stream_reuse = 0.85;
+    p.zipf_s = 0.6;
+    p.loop_frac = 0.06;
+    p.loops = {{64 * 1024, 72}, {128 * 1024, 22}, {768 * 1024, 6}};
+    p.values = {0.34, 0.05, 0.01, 0.00};
+    return p;
+}
+
+/**
+ * apsi: meteorology (SPEComp). Paper: essentially incompressible
+ * (ratio 1.01), near-perfect prefetching (L2 95.8% @ 97.6%).
+ */
+WorkloadParams
+apsiParams()
+{
+    WorkloadParams p;
+    p.name = "apsi";
+    p.load_frac = 0.32;
+    p.store_frac = 0.10;
+    p.branch_frac = 0.07;
+    p.mispredict_rate = 0.015;
+    p.branch_far_frac = 0.04;
+    p.i_footprint = 8 * 1024;
+    p.ws_private = 256 * 1024;
+    p.ws_shared = 128 * 1024;
+    p.shared_frac = 0.02;
+    p.hot_frac = 0.7;
+    p.ws_hot = 16 * 1024;
+    p.ws_stream = 16384 * 1024;
+    p.stride_frac = 0.5;
+    p.stream_count = 3;
+    p.stream_len_min = 256;
+    p.stream_len_max = 1024;
+    p.stride_bytes = {4, 4, 4, -4};
+    p.stream_reuse = 0.35;
+    p.zipf_s = 0.6;
+    p.loop_frac = 0.0;
+    p.values = {0.05, 0.005, 0.0, 0.0};
+    return p;
+}
+
+/**
+ * fma3d: crash simulation (SPEComp). Paper: the bandwidth-bound
+ * workload (27.7 GB/s demand vs 20 available), large working set
+ * (misses unchanged by compression despite ratio 1.19), link
+ * compression alone buys +23%.
+ */
+WorkloadParams
+fma3dParams()
+{
+    WorkloadParams p;
+    p.name = "fma3d";
+    p.load_frac = 0.33;
+    p.store_frac = 0.12;
+    p.branch_frac = 0.08;
+    p.mispredict_rate = 0.02;
+    p.branch_far_frac = 0.05;
+    p.i_footprint = 12 * 1024;
+    p.ws_private = 512 * 1024;
+    p.ws_shared = 512 * 1024;
+    p.shared_frac = 0.03;
+    p.hot_frac = 0.6;
+    p.ws_hot = 16 * 1024;
+    p.ws_stream = 24576 * 1024;
+    p.stride_frac = 0.3;
+    p.stream_count = 5;
+    p.stream_len_min = 40;
+    p.stream_len_max = 160;
+    p.stride_bytes = {4, 4, -4};
+    p.stream_reuse = 0.15;
+    p.zipf_s = 0.5;
+    p.loop_frac = 0.04;
+    p.loops = {{6144 * 1024, 100}};
+    p.values = {0.29, 0.03, 0.01, 0.00};
+    return p;
+}
+
+/**
+ * mgrid: multigrid solver (SPEComp). Paper: the best L1D prefetching
+ * (80.2% coverage @ 94.2%), L2 89.9% @ 81.9%, prefetching alone +19%,
+ * low compressibility.
+ */
+WorkloadParams
+mgridParams()
+{
+    WorkloadParams p;
+    p.name = "mgrid";
+    p.load_frac = 0.35;
+    p.store_frac = 0.09;
+    p.branch_frac = 0.06;
+    p.mispredict_rate = 0.01;
+    p.branch_far_frac = 0.03;
+    p.i_footprint = 8 * 1024;
+    p.ws_private = 256 * 1024;
+    p.ws_shared = 256 * 1024;
+    p.shared_frac = 0.02;
+    p.hot_frac = 0.7;
+    p.ws_hot = 16 * 1024;
+    p.ws_stream = 8192 * 1024;
+    p.stride_frac = 0.5;
+    p.stream_count = 4;
+    p.stream_len_min = 192;
+    p.stream_len_max = 768;
+    p.stride_bytes = {4, 4, 4, 8, 128};
+    p.stream_reuse = 0.6;
+    p.zipf_s = 0.6;
+    p.loop_frac = 0.0;
+    p.values = {0.27, 0.02, 0.01, 0.00};
+    return p;
+}
+
+const std::vector<std::string> kNames = {
+    "apache", "zeus", "oltp", "jbb", "art", "apsi", "fma3d", "mgrid",
+};
+
+} // namespace
+
+WorkloadParams
+benchmarkParams(const std::string &name)
+{
+    if (name == "apache")
+        return apacheParams();
+    if (name == "zeus")
+        return zeusParams();
+    if (name == "oltp")
+        return oltpParams();
+    if (name == "jbb")
+        return jbbParams();
+    if (name == "art")
+        return artParams();
+    if (name == "apsi")
+        return apsiParams();
+    if (name == "fma3d")
+        return fma3dParams();
+    if (name == "mgrid")
+        return mgridParams();
+    cmpsim_fatal("unknown benchmark: %s", name.c_str());
+}
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    return kNames;
+}
+
+bool
+isCommercial(const std::string &name)
+{
+    return name == "apache" || name == "zeus" || name == "oltp" ||
+           name == "jbb";
+}
+
+} // namespace cmpsim

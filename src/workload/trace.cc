@@ -1,0 +1,142 @@
+#include "src/workload/trace.h"
+
+#include <cstring>
+#include <memory>
+
+#include "src/common/log.h"
+
+namespace cmpsim {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'M', 'P', 'S', 'I', 'M', 'T', '1'};
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+putU64(std::FILE *f, std::uint64_t v)
+{
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    if (std::fwrite(buf, 1, 8, f) != 8)
+        cmpsim_fatal("trace write failed");
+}
+
+void
+putU32(std::FILE *f, std::uint32_t v)
+{
+    unsigned char buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    if (std::fwrite(buf, 1, 4, f) != 4)
+        cmpsim_fatal("trace write failed");
+}
+
+std::uint64_t
+getU64(std::FILE *f, const char *path)
+{
+    unsigned char buf[8];
+    if (std::fread(buf, 1, 8, f) != 8)
+        cmpsim_fatal("truncated trace file: %s", path);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | buf[i];
+    return v;
+}
+
+std::uint32_t
+getU32(std::FILE *f, const char *path)
+{
+    unsigned char buf[4];
+    if (std::fread(buf, 1, 4, f) != 4)
+        cmpsim_fatal("truncated trace file: %s", path);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | buf[i];
+    return v;
+}
+
+} // namespace
+
+void
+TraceWriter::record(InstructionStream &source, std::uint64_t count,
+                    const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        cmpsim_fatal("cannot open trace file for writing: %s",
+                     path.c_str());
+    if (std::fwrite(kMagic, 1, 8, f.get()) != 8)
+        cmpsim_fatal("trace write failed");
+    putU64(f.get(), count);
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Instruction in = source.next();
+        const unsigned char kind = static_cast<unsigned char>(
+            (static_cast<unsigned>(in.type) & 0x3) |
+            (in.mispredict ? 0x4 : 0) | (in.chained ? 0x8 : 0));
+        if (std::fwrite(&kind, 1, 1, f.get()) != 1)
+            cmpsim_fatal("trace write failed");
+        putU64(f.get(), in.pc);
+        putU64(f.get(), in.addr);
+        putU32(f.get(), in.store_value);
+    }
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        cmpsim_fatal("cannot open trace file: %s", path.c_str());
+    char magic[8];
+    if (std::fread(magic, 1, 8, f.get()) != 8 ||
+        std::memcmp(magic, kMagic, 8) != 0) {
+        cmpsim_fatal("not a cmpsim trace: %s", path.c_str());
+    }
+    const std::uint64_t count = getU64(f.get(), path.c_str());
+    if (count == 0)
+        cmpsim_fatal("empty trace: %s", path.c_str());
+    instructions_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        unsigned char kind;
+        if (std::fread(&kind, 1, 1, f.get()) != 1)
+            cmpsim_fatal("truncated trace file: %s", path.c_str());
+        Instruction in;
+        in.type = static_cast<InstrType>(kind & 0x3);
+        in.mispredict = (kind & 0x4) != 0;
+        in.chained = (kind & 0x8) != 0;
+        in.pc = getU64(f.get(), path.c_str());
+        in.addr = getU64(f.get(), path.c_str());
+        in.store_value = getU32(f.get(), path.c_str());
+        instructions_.push_back(in);
+    }
+}
+
+TraceReader::TraceReader(std::vector<Instruction> instructions)
+    : instructions_(std::move(instructions))
+{
+    cmpsim_assert(!instructions_.empty());
+}
+
+Instruction
+TraceReader::next()
+{
+    const Instruction in = instructions_[pos_];
+    if (++pos_ == instructions_.size()) {
+        pos_ = 0;
+        ++loops_;
+    }
+    return in;
+}
+
+} // namespace cmpsim

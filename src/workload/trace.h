@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Instruction-trace capture and replay.
+ *
+ * The synthetic workloads are generative; for reproducible
+ * cross-machine experiments (or to drive cmpsim with traces produced
+ * elsewhere) an InstructionStream can be captured to a compact binary
+ * file and replayed later. Replay loops at end-of-trace, so a finite
+ * trace drives arbitrarily long runs the way the paper's
+ * fixed-transaction-count measurements do.
+ *
+ * File layout (little-endian):
+ *   8-byte magic "CMPSIMT1"
+ *   u64 instruction count
+ *   count records of: u8 kind/flags, u64 pc, u64 addr, u32 value
+ * where kind/flags packs InstrType (low 2 bits), mispredict (bit 2)
+ * and chained (bit 3).
+ */
+
+#ifndef CMPSIM_WORKLOAD_TRACE_H
+#define CMPSIM_WORKLOAD_TRACE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/instruction.h"
+
+namespace cmpsim {
+
+/** Capture instructions from a source stream into a trace file. */
+class TraceWriter
+{
+  public:
+    /**
+     * Record @p count instructions of @p source into @p path.
+     * Fatal on I/O errors.
+     */
+    static void record(InstructionStream &source, std::uint64_t count,
+                       const std::string &path);
+};
+
+/** Replay a trace file as an InstructionStream (looping). */
+class TraceReader : public InstructionStream
+{
+  public:
+    /** Load @p path fully into memory. Fatal on a malformed file. */
+    explicit TraceReader(const std::string &path);
+
+    /** In-memory construction (tests, programmatic traces). */
+    explicit TraceReader(std::vector<Instruction> instructions);
+
+    Instruction next() override;
+
+    std::uint64_t size() const { return instructions_.size(); }
+
+    /** How many times the trace has wrapped. */
+    std::uint64_t loops() const { return loops_; }
+
+  private:
+    std::vector<Instruction> instructions_;
+    std::size_t pos_ = 0;
+    std::uint64_t loops_ = 0;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_WORKLOAD_TRACE_H

@@ -1,0 +1,112 @@
+#include "src/workload/value_profile.h"
+
+namespace cmpsim {
+
+namespace {
+
+enum class WordClass
+{
+    Zero,
+    SmallInt,
+    RepeatedByte,
+    PointerPair,
+    Raw,
+};
+
+WordClass
+drawClass(const ValueProfile &p, Random &rng)
+{
+    double u = rng.uniform();
+    if (u < p.zero)
+        return WordClass::Zero;
+    u -= p.zero;
+    if (u < p.small_int)
+        return WordClass::SmallInt;
+    u -= p.small_int;
+    if (u < p.repeated_byte)
+        return WordClass::RepeatedByte;
+    u -= p.repeated_byte;
+    if (u < p.pointer_pair)
+        return WordClass::PointerPair;
+    return WordClass::Raw;
+}
+
+std::uint32_t
+smallInt(Random &rng)
+{
+    if (rng.chance(0.7)) {
+        return static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(rng.inRange(0, 255)) - 128);
+    }
+    return static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(rng.inRange(0, 65535)) - 32768);
+}
+
+std::uint32_t
+rawWord(Random &rng)
+{
+    // Force incompressibility: set a high bit and a low bit so the
+    // word fits no sign-extension or padding pattern.
+    return (static_cast<std::uint32_t>(rng.next()) | 0x80000001u) &
+           ~0x00008000u;
+}
+
+} // namespace
+
+std::uint32_t
+ValueGenerator::generateWord(Random &rng) const
+{
+    switch (drawClass(profile_, rng)) {
+      case WordClass::Zero:
+        return 0;
+      case WordClass::SmallInt:
+        return smallInt(rng);
+      case WordClass::RepeatedByte: {
+        const auto b = static_cast<std::uint32_t>(rng.below(256));
+        return b * 0x01010101u;
+      }
+      case WordClass::PointerPair:
+      case WordClass::Raw:
+        return rawWord(rng);
+    }
+    return rawWord(rng);
+}
+
+LineData
+ValueGenerator::generate(Random &rng) const
+{
+    // Per-word independent draws keep the class fractions exact; FPC
+    // still finds zero runs where zeros land adjacently, as they do in
+    // real sparsely-initialized structures.
+    LineData d{};
+    unsigned i = 0;
+    while (i < kWordsPerLine) {
+        switch (drawClass(profile_, rng)) {
+          case WordClass::Zero:
+            setLineWord(d, i++, 0);
+            break;
+          case WordClass::SmallInt:
+            setLineWord(d, i++, smallInt(rng));
+            break;
+          case WordClass::RepeatedByte: {
+            const auto b = static_cast<std::uint32_t>(rng.below(256));
+            setLineWord(d, i++, b * 0x01010101u);
+            break;
+          }
+          case WordClass::PointerPair:
+            // 64-bit heap pointer: raw low word, small high word.
+            setLineWord(d, i++, rawWord(rng));
+            if (i < kWordsPerLine) {
+                setLineWord(d, i++, static_cast<std::uint32_t>(
+                                        rng.inRange(1, 0x7fff)));
+            }
+            break;
+          case WordClass::Raw:
+            setLineWord(d, i++, rawWord(rng));
+            break;
+        }
+    }
+    return d;
+}
+
+} // namespace cmpsim

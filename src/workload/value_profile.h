@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-workload value profiles: the distribution of 32-bit words that
+ * populate a workload's data lines. Compression ratios in cmpsim are
+ * *emergent* — FPC runs bit-exact over these values — so each
+ * benchmark's profile is calibrated to land near the compressibility
+ * the paper reports (Table 3: commercial 1.36-1.8, SPEComp 1.01-1.19).
+ *
+ * Word classes map onto FPC's patterns:
+ *  zero          -> 000 zero runs (the dominant compressible content
+ *                   in both commercial and FP data [1])
+ *  small_int     -> 4/8/16-bit sign-extended patterns
+ *  repeated_byte -> pattern 110
+ *  pointer_pair  -> adjacent words forming a 64-bit pointer whose low
+ *                   word is raw and high word is small (heap layout)
+ *  random        -> incompressible (FP mantissas, hashes, ciphertext)
+ */
+
+#ifndef CMPSIM_WORKLOAD_VALUE_PROFILE_H
+#define CMPSIM_WORKLOAD_VALUE_PROFILE_H
+
+#include "src/common/line_data.h"
+#include "src/common/random.h"
+
+namespace cmpsim {
+
+/** Mixture weights over word classes (need not sum to 1; the
+ *  remainder is incompressible random data). */
+struct ValueProfile
+{
+    double zero = 0.25;
+    double small_int = 0.25;
+    double repeated_byte = 0.05;
+    double pointer_pair = 0.10;
+    // remainder: raw random words
+};
+
+/** Draws line values and store words from a ValueProfile. */
+class ValueGenerator
+{
+  public:
+    explicit ValueGenerator(const ValueProfile &profile)
+        : profile_(profile)
+    {
+    }
+
+    /** Generate one full line of values. */
+    LineData generate(Random &rng) const;
+
+    /** Generate one store word. */
+    std::uint32_t generateWord(Random &rng) const;
+
+    const ValueProfile &profile() const { return profile_; }
+
+  private:
+    ValueProfile profile_;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_WORKLOAD_VALUE_PROFILE_H

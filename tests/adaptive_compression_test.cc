@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the ISCA'04 adaptive compression policy (the global
+ * compression predictor the paper's Section 2 runs): compression is
+ * applied only while its estimated benefit (avoided misses) outweighs
+ * its cost (decompression penalties).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cache/l2_cache.h"
+#include "src/compression/fpc.h"
+
+namespace cmpsim {
+namespace {
+
+class AdaptiveCompressionTest : public ::testing::Test
+{
+  protected:
+    EventQueue eq;
+    FpcCompressor fpc;
+    ValueStore values{fpc};
+    std::unique_ptr<MainMemory> mem;
+    std::unique_ptr<L2Cache> l2;
+
+    void
+    build(bool adaptive)
+    {
+        MemoryParams mp;
+        mem = std::make_unique<MainMemory>(eq, values, mp);
+        L2Params p;
+        p.sets = 4;
+        p.banks = 1;
+        p.tags_per_set = 8;
+        p.segment_budget = 32;
+        p.compressed = true;
+        p.adaptive_compression = adaptive;
+        p.cores = 1;
+        l2 = std::make_unique<L2Cache>(eq, values, *mem, p);
+    }
+
+    Addr
+    la(std::uint64_t i)
+    {
+        return i << kLineShift;
+    }
+
+    void
+    touch(Addr line)
+    {
+        l2->accessFunctional(0, line, false, ReqType::Demand);
+    }
+};
+
+TEST_F(AdaptiveCompressionTest, StartsCompressing)
+{
+    build(true);
+    EXPECT_TRUE(l2->compressingNow());
+    EXPECT_EQ(l2->gcpValue(), 0);
+}
+
+TEST_F(AdaptiveCompressionTest, PenalizedHitsTurnCompressionOff)
+{
+    build(true);
+    // Four compressible lines in one set: they fit uncompressed too,
+    // so every hit is pure decompression cost.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        touch(la(i * 4));
+    for (int round = 0; round < 10; ++round) {
+        for (std::uint64_t i = 0; i < 4; ++i)
+            touch(la(i * 4));
+    }
+    EXPECT_LT(l2->gcpValue(), 0);
+    EXPECT_FALSE(l2->compressingNow());
+    // New fills are now stored uncompressed.
+    touch(la(100 * 4));
+    const TagEntry *e = l2->setAt(0).find(la(100 * 4));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->segments, kSegmentsPerLine);
+}
+
+TEST_F(AdaptiveCompressionTest, DeepHitsKeepCompressionOn)
+{
+    build(true);
+    // Eight compressible lines in one set: hits at stack depth >= 4
+    // only exist because of compression and earn the memory-latency
+    // benefit, outweighing the decompression costs.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        touch(la(i * 4));
+    for (int round = 0; round < 10; ++round) {
+        for (std::uint64_t i = 0; i < 8; ++i)
+            touch(la(i * 4));
+    }
+    EXPECT_GT(l2->gcpValue(), 0);
+    EXPECT_TRUE(l2->compressingNow());
+}
+
+TEST_F(AdaptiveCompressionTest, AlwaysPolicyIgnoresCosts)
+{
+    build(false);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        touch(la(i * 4));
+    for (int round = 0; round < 20; ++round) {
+        for (std::uint64_t i = 0; i < 4; ++i)
+            touch(la(i * 4));
+    }
+    // Predictor untouched, compression stays on.
+    EXPECT_EQ(l2->gcpValue(), 0);
+    EXPECT_TRUE(l2->compressingNow());
+    touch(la(100 * 4));
+    const TagEntry *e = l2->setAt(0).find(la(100 * 4));
+    ASSERT_NE(e, nullptr);
+    EXPECT_LT(e->segments, kSegmentsPerLine);
+}
+
+TEST_F(AdaptiveCompressionTest, RecoversWhenBenefitReturns)
+{
+    build(true);
+    // Drive the predictor negative with shallow penalized hits.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        touch(la(i * 4));
+    for (int round = 0; round < 10; ++round)
+        for (std::uint64_t i = 0; i < 4; ++i)
+            touch(la(i * 4));
+    ASSERT_FALSE(l2->compressingNow());
+
+    // Now create depth pressure: the still-compressed early lines
+    // plus new ones produce deep hits that pay back quickly
+    // (one deep hit outweighs 80 penalized hits).
+    for (std::uint64_t i = 4; i < 7; ++i)
+        touch(la(i * 4));
+    for (int round = 0; round < 30 && !l2->compressingNow(); ++round) {
+        for (std::uint64_t i = 0; i < 7; ++i)
+            touch(la(i * 4));
+    }
+    EXPECT_TRUE(l2->compressingNow());
+}
+
+} // namespace
+} // namespace cmpsim

@@ -1,0 +1,156 @@
+#include "src/compression/bdi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/compression/fpc.h"
+#include "src/compression/null_compressor.h"
+
+namespace cmpsim {
+namespace {
+
+class BdiTest : public ::testing::Test
+{
+  protected:
+    BdiCompressor bdi;
+
+    void
+    expectRoundTrip(const LineData &line)
+    {
+        BitStream bs;
+        const auto size = bdi.compress(line, &bs);
+        const LineData back = bdi.decompress(bs, size);
+        ASSERT_EQ(back, line);
+    }
+};
+
+TEST_F(BdiTest, ZerosLineIsOneSegment)
+{
+    const auto size = bdi.compress(zeroLine());
+    EXPECT_EQ(size.segments, 1u);
+    expectRoundTrip(zeroLine());
+}
+
+TEST_F(BdiTest, RepeatedQwordCompresses)
+{
+    LineData d{};
+    for (unsigned q = 0; q < kLineBytes / 8; ++q)
+        setLineQword(d, q, 0xdeadbeefcafebabeULL);
+    const auto size = bdi.compress(d);
+    EXPECT_EQ(size.segments, 2u); // 68 bits
+    expectRoundTrip(d);
+}
+
+TEST_F(BdiTest, NearbyPointersCompressBase8)
+{
+    LineData d{};
+    const std::uint64_t base = 0x00007f8812345000ULL;
+    for (unsigned q = 0; q < kLineBytes / 8; ++q)
+        setLineQword(d, q, base + q * 8);
+    const auto size = bdi.compress(d);
+    EXPECT_TRUE(size.isCompressed());
+    expectRoundTrip(d);
+}
+
+TEST_F(BdiTest, MixedZeroAndBaseElements)
+{
+    LineData d{};
+    const std::uint64_t base = 0xffff000011110000ULL;
+    for (unsigned q = 0; q < kLineBytes / 8; ++q)
+        setLineQword(d, q, q % 2 ? base + q : q); // zero-base + big base
+    const auto size = bdi.compress(d);
+    EXPECT_TRUE(size.isCompressed());
+    expectRoundTrip(d);
+}
+
+TEST_F(BdiTest, RandomLineFallsBackToRaw)
+{
+    Random rng(4);
+    LineData d{};
+    for (unsigned q = 0; q < kLineBytes / 8; ++q)
+        setLineQword(d, q, rng.next());
+    const auto size = bdi.compress(d);
+    EXPECT_FALSE(size.isCompressed());
+    expectRoundTrip(d);
+}
+
+TEST_F(BdiTest, SmallIntsCompressViaB4)
+{
+    LineData d{};
+    for (unsigned i = 0; i < kWordsPerLine; ++i)
+        setLineWord(d, i, 1000 + i);
+    const auto size = bdi.compress(d);
+    EXPECT_TRUE(size.isCompressed());
+    EXPECT_LE(size.segments, 4u);
+    expectRoundTrip(d);
+}
+
+TEST_F(BdiTest, RandomizedRoundTrip)
+{
+    Random rng(777);
+    for (int trial = 0; trial < 300; ++trial) {
+        LineData d{};
+        const std::uint64_t base = rng.next();
+        for (unsigned q = 0; q < kLineBytes / 8; ++q) {
+            switch (rng.below(4)) {
+              case 0:
+                setLineQword(d, q, 0);
+                break;
+              case 1:
+                setLineQword(d, q, base + rng.below(100));
+                break;
+              case 2:
+                setLineQword(d, q, rng.below(200));
+                break;
+              default:
+                setLineQword(d, q, rng.next());
+                break;
+            }
+        }
+        BitStream bs;
+        const auto size = bdi.compress(d, &bs);
+        ASSERT_GE(size.segments, 1u);
+        ASSERT_LE(size.segments, kSegmentsPerLine);
+        ASSERT_EQ(bdi.decompress(bs, size), d);
+    }
+}
+
+TEST(NullCompressorTest, AlwaysRawRoundTrip)
+{
+    NullCompressor null;
+    Random rng(5);
+    LineData d{};
+    for (unsigned q = 0; q < kLineBytes / 8; ++q)
+        setLineQword(d, q, rng.next());
+    BitStream bs;
+    const auto size = null.compress(d, &bs);
+    EXPECT_FALSE(size.isCompressed());
+    EXPECT_EQ(size.segments, kSegmentsPerLine);
+    EXPECT_EQ(null.decompress(bs, size), d);
+}
+
+TEST(CompressorComparisonTest, BdiBeatsFpcOnPointerArrays)
+{
+    // Arrays of nearby 64-bit pointers: classic BDI-wins case.
+    BdiCompressor bdi;
+    FpcCompressor fpc;
+    LineData d{};
+    const std::uint64_t base = 0x00007fff12345678ULL;
+    for (unsigned q = 0; q < kLineBytes / 8; ++q)
+        setLineQword(d, q, base + q * 16);
+    EXPECT_LT(bdi.compress(d).segments, fpc.compress(d).segments);
+}
+
+TEST(CompressorComparisonTest, FpcBeatsBdiOnSparseSmallInts)
+{
+    // Alternating zero / small-int words favour FPC's word patterns.
+    BdiCompressor bdi;
+    FpcCompressor fpc;
+    LineData d{};
+    for (unsigned i = 0; i < kWordsPerLine; ++i)
+        setLineWord(d, i, i % 2 ? 3u : 0u);
+    EXPECT_LE(fpc.compress(d).segments, bdi.compress(d).segments);
+}
+
+} // namespace
+} // namespace cmpsim

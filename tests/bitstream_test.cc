@@ -1,0 +1,100 @@
+#include "src/compression/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace cmpsim {
+namespace {
+
+TEST(BitStreamTest, PutGetSingleField)
+{
+    BitStream bs;
+    bs.put(0b101, 3);
+    EXPECT_EQ(bs.sizeBits(), 3u);
+    BitReader rd(bs);
+    EXPECT_EQ(rd.get(3), 0b101u);
+}
+
+TEST(BitStreamTest, ValueMaskedToWidth)
+{
+    BitStream bs;
+    bs.put(0xff, 4); // only low 4 bits kept
+    BitReader rd(bs);
+    EXPECT_EQ(rd.get(4), 0xfu);
+}
+
+TEST(BitStreamTest, CrossWordBoundary)
+{
+    BitStream bs;
+    bs.put(0x1234567890abcdefULL, 60);
+    bs.put(0xabcd, 16); // spans the 64-bit boundary
+    BitReader rd(bs);
+    EXPECT_EQ(rd.get(60), 0x1234567890abcdefULL & ((1ULL << 60) - 1));
+    EXPECT_EQ(rd.get(16), 0xabcdu);
+}
+
+TEST(BitStreamTest, FullWordPut)
+{
+    BitStream bs;
+    bs.put(0xdeadbeefcafebabeULL, 64);
+    bs.put(0x1122334455667788ULL, 64);
+    BitReader rd(bs);
+    EXPECT_EQ(rd.get(64), 0xdeadbeefcafebabeULL);
+    EXPECT_EQ(rd.get(64), 0x1122334455667788ULL);
+}
+
+TEST(BitStreamTest, ZeroWidthPutIsNoop)
+{
+    BitStream bs;
+    bs.put(0xff, 0);
+    EXPECT_EQ(bs.sizeBits(), 0u);
+}
+
+TEST(BitStreamTest, ClearResets)
+{
+    BitStream bs;
+    bs.put(7, 3);
+    bs.clear();
+    EXPECT_EQ(bs.sizeBits(), 0u);
+    bs.put(1, 1);
+    BitReader rd(bs);
+    EXPECT_EQ(rd.get(1), 1u);
+}
+
+TEST(BitStreamTest, ReaderTracksRemaining)
+{
+    BitStream bs;
+    bs.put(0, 10);
+    BitReader rd(bs);
+    EXPECT_EQ(rd.remaining(), 10u);
+    rd.get(4);
+    EXPECT_EQ(rd.remaining(), 6u);
+}
+
+TEST(BitStreamTest, RandomizedRoundTrip)
+{
+    Random rng(12345);
+    for (int trial = 0; trial < 200; ++trial) {
+        BitStream bs;
+        std::vector<std::pair<std::uint64_t, unsigned>> fields;
+        unsigned total = 0;
+        while (total < 500) {
+            const unsigned width =
+                static_cast<unsigned>(rng.inRange(1, 64));
+            std::uint64_t v = rng.next();
+            if (width < 64)
+                v &= (1ULL << width) - 1;
+            fields.emplace_back(v, width);
+            bs.put(v, width);
+            total += width;
+        }
+        ASSERT_EQ(bs.sizeBits(), total);
+        BitReader rd(bs);
+        for (const auto &[v, width] : fields)
+            ASSERT_EQ(rd.get(width), v);
+    }
+}
+
+} // namespace
+} // namespace cmpsim

@@ -1,0 +1,218 @@
+#include "src/cache/decoupled_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace cmpsim {
+namespace {
+
+TagEntry
+makeEntry(Addr line, unsigned segments = kSegmentsPerLine)
+{
+    TagEntry e;
+    e.line = line;
+    e.valid = true;
+    e.segments = static_cast<std::uint8_t>(segments);
+    return e;
+}
+
+TEST(DecoupledSetTest, InsertAndFind)
+{
+    DecoupledSet set(8, 32);
+    EXPECT_TRUE(set.insert(makeEntry(0x100)).empty());
+    EXPECT_NE(set.find(0x100), nullptr);
+    EXPECT_EQ(set.find(0x200), nullptr);
+    EXPECT_EQ(set.validCount(), 1u);
+    EXPECT_EQ(set.usedSegments(), 8u);
+}
+
+TEST(DecoupledSetTest, UncompressedCapacityIsFourLines)
+{
+    // The paper's compressed-L2 geometry: 8 tags, 32 segments.
+    DecoupledSet set(8, 32);
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_TRUE(set.insert(makeEntry(a << kLineShift)).empty());
+    // Fifth uncompressed line evicts the LRU (line 0).
+    const auto evicted = set.insert(makeEntry(4 << kLineShift));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].line, 0u);
+    EXPECT_EQ(set.validCount(), 4u);
+}
+
+TEST(DecoupledSetTest, CompressedLinesDoubleCapacity)
+{
+    DecoupledSet set(8, 32);
+    // Eight 4-segment lines fit exactly: capacity doubled.
+    for (Addr a = 0; a < 8; ++a)
+        EXPECT_TRUE(set.insert(makeEntry(a << kLineShift, 4)).empty());
+    EXPECT_EQ(set.validCount(), 8u);
+    EXPECT_EQ(set.usedSegments(), 32u);
+    // A ninth line must evict even though segments would be free after
+    // eviction: tags are exhausted.
+    const auto evicted = set.insert(makeEntry(8 << kLineShift, 1));
+    EXPECT_EQ(evicted.size(), 1u);
+}
+
+TEST(DecoupledSetTest, LruOrderRespectsTouch)
+{
+    DecoupledSet set(8, 32);
+    for (Addr a = 0; a < 4; ++a)
+        set.insert(makeEntry(a << kLineShift));
+    set.touch(0); // line 0 becomes MRU; line 1 now LRU
+    const auto evicted = set.insert(makeEntry(100 << kLineShift));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].line, 1u << kLineShift);
+}
+
+TEST(DecoupledSetTest, EvictionLeavesVictimTag)
+{
+    DecoupledSet set(8, 32);
+    for (Addr a = 0; a < 5; ++a)
+        set.insert(makeEntry(a << kLineShift));
+    // Line 0 was evicted; its address remains as a victim tag.
+    EXPECT_TRUE(set.victimTagMatch(0));
+    EXPECT_FALSE(set.victimTagMatch(3 << kLineShift));
+    EXPECT_GE(set.victimTagCount(), 1u);
+}
+
+TEST(DecoupledSetTest, MultipleEvictionsForOneBigInsert)
+{
+    DecoupledSet set(8, 32);
+    // Fill with eight 4-segment lines, then insert an 8-segment line:
+    // needs two evictions for segments.
+    for (Addr a = 0; a < 8; ++a)
+        set.insert(makeEntry(a << kLineShift, 4));
+    const auto evicted = set.insert(makeEntry(0x9000, 8));
+    EXPECT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(set.usedSegments(), 6u * 4 + 8);
+}
+
+TEST(DecoupledSetTest, SegmentAccountingInvariant)
+{
+    Random rng(7);
+    DecoupledSet set(8, 32);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr line = rng.below(64) << kLineShift;
+        if (set.find(line)) {
+            if (rng.chance(0.3))
+                set.resize(line, static_cast<unsigned>(rng.inRange(1, 8)));
+            else if (rng.chance(0.1))
+                set.invalidate(line);
+            else
+                set.touch(line);
+        } else {
+            set.insert(
+                makeEntry(line, static_cast<unsigned>(rng.inRange(1, 8))));
+        }
+        // Invariants: budget respected, accounting exact.
+        unsigned sum = 0, valid = 0;
+        for (const auto &e : set.entries()) {
+            if (e.valid) {
+                sum += e.segments;
+                ++valid;
+            }
+        }
+        ASSERT_EQ(sum, set.usedSegments());
+        ASSERT_EQ(valid, set.validCount());
+        ASSERT_LE(sum, 32u);
+        ASSERT_LE(valid, 8u);
+    }
+}
+
+TEST(DecoupledSetTest, ResizeShrinkFreesSegments)
+{
+    DecoupledSet set(8, 32);
+    set.insert(makeEntry(0x100, 8));
+    EXPECT_TRUE(set.resize(0x100, 2).empty());
+    EXPECT_EQ(set.usedSegments(), 2u);
+    EXPECT_EQ(set.find(0x100)->segments, 2u);
+}
+
+TEST(DecoupledSetTest, ResizeGrowEvictsOthersNotSelf)
+{
+    DecoupledSet set(8, 32);
+    for (Addr a = 0; a < 8; ++a)
+        set.insert(makeEntry(a << kLineShift, 4));
+    // Grow the MRU line (7): needs 4 more segments -> evict LRU (0).
+    set.touch(7 << kLineShift);
+    const auto evicted = set.resize(7 << kLineShift, 8);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].line, 0u);
+    EXPECT_NE(set.find(7 << kLineShift), nullptr);
+}
+
+TEST(DecoupledSetTest, ResizeGrowLruLineDoesNotEvictSelf)
+{
+    DecoupledSet set(8, 32);
+    for (Addr a = 0; a < 8; ++a)
+        set.insert(makeEntry(a << kLineShift, 4));
+    // Line 0 is LRU; growing it must evict other lines.
+    const auto evicted = set.resize(0, 8);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_NE(evicted[0].line, 0u);
+    EXPECT_NE(set.find(0), nullptr);
+    EXPECT_EQ(set.find(0)->segments, 8u);
+}
+
+TEST(DecoupledSetTest, InvalidateKeepsVictimTag)
+{
+    DecoupledSet set(8, 32);
+    auto e = makeEntry(0x340, 4);
+    e.dirty = true;
+    set.insert(e);
+    const TagEntry prior = set.invalidate(0x340);
+    EXPECT_TRUE(prior.valid);
+    EXPECT_TRUE(prior.dirty);
+    EXPECT_EQ(set.find(0x340), nullptr);
+    EXPECT_TRUE(set.victimTagMatch(0x340));
+    EXPECT_EQ(set.usedSegments(), 0u);
+}
+
+TEST(DecoupledSetTest, InvalidateAbsentLineReturnsEmpty)
+{
+    DecoupledSet set(4, 32);
+    EXPECT_FALSE(set.invalidate(0x123000).valid);
+}
+
+TEST(DecoupledSetTest, AnyValidPrefetchTracksBits)
+{
+    DecoupledSet set(8, 32);
+    set.insert(makeEntry(0x100));
+    EXPECT_FALSE(set.anyValidPrefetch());
+    auto e = makeEntry(0x200);
+    e.prefetch = true;
+    set.insert(e);
+    EXPECT_TRUE(set.anyValidPrefetch());
+    set.invalidate(0x200);
+    EXPECT_FALSE(set.anyValidPrefetch());
+}
+
+TEST(DecoupledSetTest, ExtraVictimTagsSurviveFullValidSet)
+{
+    // 12 tags but only 8 lines of data: 4 permanent victim-tag slots,
+    // the paper's uncompressed-adaptive configuration.
+    DecoupledSet set(12, 64);
+    for (Addr a = 0; a < 8; ++a)
+        set.insert(makeEntry(a << kLineShift));
+    // Evict 0..3 by inserting 4 more.
+    for (Addr a = 8; a < 12; ++a)
+        set.insert(makeEntry(a << kLineShift));
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_TRUE(set.victimTagMatch(a << kLineShift));
+}
+
+TEST(DecoupledSetTest, ValidStackDepth)
+{
+    DecoupledSet set(8, 64);
+    set.insert(makeEntry(0x100));
+    set.insert(makeEntry(0x200));
+    set.insert(makeEntry(0x300));
+    EXPECT_EQ(set.validStackDepth(0x300), 0);
+    EXPECT_EQ(set.validStackDepth(0x200), 1);
+    EXPECT_EQ(set.validStackDepth(0x100), 2);
+    EXPECT_EQ(set.validStackDepth(0x999), -1);
+}
+
+} // namespace
+} // namespace cmpsim

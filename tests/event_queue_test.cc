@@ -1,0 +1,101 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmpsim {
+namespace {
+
+TEST(EventQueueTest, StartsEmptyAtCycleZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.nextEventCycle(), kCycleNever);
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.drain();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueueTest, SameCycleEventsRunInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.drain();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] {
+            ++fired;
+            eq.schedule(5, [&] { ++fired; });
+        });
+    });
+    eq.drain();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueueTest, AdvanceToRunsOnlyDueEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(15, [&] { ++fired; });
+    eq.advanceTo(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.nextEventCycle(), 15u);
+    eq.advanceTo(15);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, NowTracksEventBeingRun)
+{
+    EventQueue eq;
+    Cycle seen = 0;
+    eq.schedule(42, [&] { seen = eq.now(); });
+    eq.drain();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueueTest, DrainWithLimitLeavesFutureEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    EXPECT_EQ(eq.drain(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+}
+
+TEST(EventQueueTest, ZeroDelayEventAtCurrentCycleRuns)
+{
+    EventQueue eq;
+    eq.advanceTo(10);
+    bool ran = false;
+    eq.schedule(10, [&] { ran = true; });
+    eq.advanceTo(10);
+    EXPECT_TRUE(ran);
+}
+
+} // namespace
+} // namespace cmpsim

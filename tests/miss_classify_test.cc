@@ -1,0 +1,106 @@
+#include "src/core_api/miss_classify.h"
+
+#include <gtest/gtest.h>
+
+namespace cmpsim {
+namespace {
+
+Addr
+la(std::uint64_t i)
+{
+    return i << kLineShift;
+}
+
+TEST(MissProfileTest, CountsByType)
+{
+    MissProfile p;
+    p.record(ReqType::Demand, la(1));
+    p.record(ReqType::Demand, la(1));
+    p.record(ReqType::Demand, la(2));
+    p.record(ReqType::L2Prefetch, la(3));
+    EXPECT_EQ(p.totalDemandMisses(), 3u);
+    EXPECT_EQ(p.totalPrefetchFills(), 1u);
+}
+
+TEST(MissClassifyTest, EmptyBaseYieldsZeros)
+{
+    MissProfile e;
+    const auto c = classifyMisses(e, e, e, e);
+    EXPECT_DOUBLE_EQ(c.totalDemandFraction(), 0.0);
+}
+
+TEST(MissClassifyTest, AllUnavoidable)
+{
+    MissProfile base, same;
+    for (int i = 0; i < 10; ++i) {
+        base.record(ReqType::Demand, la(i));
+        same.record(ReqType::Demand, la(i));
+    }
+    const auto c = classifyMisses(base, same, same, same);
+    EXPECT_DOUBLE_EQ(c.unavoidable, 1.0);
+    EXPECT_DOUBLE_EQ(c.only_compression, 0.0);
+    EXPECT_DOUBLE_EQ(c.only_prefetching, 0.0);
+    EXPECT_DOUBLE_EQ(c.either, 0.0);
+}
+
+TEST(MissClassifyTest, DisjointAvoidanceSplitsCleanly)
+{
+    // Lines 0-4 avoided only by compression; 5-9 only by prefetching.
+    MissProfile base, with_c, with_p, with_cp;
+    for (int i = 0; i < 10; ++i)
+        base.record(ReqType::Demand, la(i));
+    for (int i = 5; i < 10; ++i)
+        with_c.record(ReqType::Demand, la(i)); // compression kept 5-9
+    for (int i = 0; i < 5; ++i)
+        with_p.record(ReqType::Demand, la(i)); // prefetching kept 0-4
+    const auto c = classifyMisses(base, with_c, with_p, with_cp);
+    EXPECT_DOUBLE_EQ(c.only_compression, 0.5);
+    EXPECT_DOUBLE_EQ(c.only_prefetching, 0.5);
+    EXPECT_DOUBLE_EQ(c.either, 0.0);
+    EXPECT_DOUBLE_EQ(c.unavoidable, 0.0);
+    EXPECT_NEAR(c.totalDemandFraction(), 1.0, 1e-12);
+}
+
+TEST(MissClassifyTest, OverlapCountedAsEither)
+{
+    // Line 0 avoided by both techniques: the negative-interaction
+    // intersection of Section 5.2.
+    MissProfile base, with_c, with_p, with_cp;
+    base.record(ReqType::Demand, la(0));
+    base.record(ReqType::Demand, la(1));
+    with_c.record(ReqType::Demand, la(1));
+    with_p.record(ReqType::Demand, la(1));
+    const auto c = classifyMisses(base, with_c, with_p, with_cp);
+    EXPECT_DOUBLE_EQ(c.either, 0.5);
+    EXPECT_DOUBLE_EQ(c.unavoidable, 0.5);
+}
+
+TEST(MissClassifyTest, PartialCountsClampAtZero)
+{
+    // A config with MORE misses on a line than base must not create
+    // negative avoidance.
+    MissProfile base, with_c, with_p, with_cp;
+    base.record(ReqType::Demand, la(0));
+    with_c.record(ReqType::Demand, la(0));
+    with_c.record(ReqType::Demand, la(0)); // worse under compression
+    with_p.record(ReqType::Demand, la(0));
+    const auto c = classifyMisses(base, with_c, with_p, with_cp);
+    EXPECT_DOUBLE_EQ(c.only_compression, 0.0);
+    EXPECT_DOUBLE_EQ(c.unavoidable, 1.0);
+}
+
+TEST(MissClassifyTest, PrefetchesAvoidedByCompression)
+{
+    MissProfile base, with_c, with_p, with_cp;
+    base.record(ReqType::Demand, la(0));
+    // Prefetching alone issues 4 fills; with compression only 1.
+    for (int i = 0; i < 4; ++i)
+        with_p.record(ReqType::L2Prefetch, la(10 + i));
+    with_cp.record(ReqType::L2Prefetch, la(10));
+    const auto c = classifyMisses(base, with_c, with_p, with_cp);
+    EXPECT_DOUBLE_EQ(c.prefetches_kept, 1.0);   // of base misses
+    EXPECT_DOUBLE_EQ(c.prefetches_avoided, 3.0);
+}
+
+} // namespace
+} // namespace cmpsim

@@ -1,0 +1,135 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmpsim {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, ReseedRestartsSequence)
+{
+    Random a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(RandomTest, BelowStaysInBound)
+{
+    Random r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RandomTest, BelowOneAlwaysZero)
+{
+    Random r(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(RandomTest, InRangeInclusiveBounds)
+{
+    Random r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = r.inRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, UniformInUnitInterval)
+{
+    Random r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, ChanceRespectsProbability)
+{
+    Random r(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(RandomTest, BelowIsRoughlyUniform)
+{
+    Random r(17);
+    std::vector<int> buckets(8, 0);
+    for (int i = 0; i < 80000; ++i)
+        ++buckets[r.below(8)];
+    for (int count : buckets)
+        EXPECT_NEAR(count, 10000, 500);
+}
+
+TEST(RandomTest, ZipfStaysInRange)
+{
+    Random r(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.zipf(100, 0.9), 100u);
+}
+
+TEST(RandomTest, ZipfSkewsTowardLowRanks)
+{
+    Random r(23);
+    std::uint64_t low = 0, high = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const auto v = r.zipf(1000, 1.0);
+        if (v < 100)
+            ++low;
+        else if (v >= 900)
+            ++high;
+    }
+    EXPECT_GT(low, high * 3);
+}
+
+TEST(RandomTest, ZipfZeroExponentIsUniform)
+{
+    Random r(29);
+    std::uint64_t low = 0;
+    for (int i = 0; i < 50000; ++i)
+        low += r.zipf(1000, 0.0) < 500;
+    EXPECT_NEAR(low / 50000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, ZipfSingleElement)
+{
+    Random r(31);
+    EXPECT_EQ(r.zipf(1, 1.2), 0u);
+}
+
+} // namespace
+} // namespace cmpsim

@@ -1,0 +1,60 @@
+#include "src/common/sat_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace cmpsim {
+namespace {
+
+TEST(SatCounterTest, StartsAtMax)
+{
+    SatCounter c(25);
+    EXPECT_EQ(c.value(), 25u);
+    EXPECT_TRUE(c.atMax());
+    EXPECT_FALSE(c.atZero());
+}
+
+TEST(SatCounterTest, DecrementToZeroAndSaturate)
+{
+    SatCounter c(3);
+    c.decrement();
+    c.decrement();
+    c.decrement();
+    EXPECT_TRUE(c.atZero());
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounterTest, IncrementSaturatesAtMax)
+{
+    SatCounter c(2);
+    c.increment();
+    EXPECT_EQ(c.value(), 2u);
+    c.decrement();
+    c.increment();
+    c.increment();
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(SatCounterTest, ResetReturnsToMax)
+{
+    SatCounter c(6);
+    for (int i = 0; i < 6; ++i)
+        c.decrement();
+    EXPECT_TRUE(c.atZero());
+    c.reset();
+    EXPECT_TRUE(c.atMax());
+}
+
+TEST(SatCounterTest, UpDownSequenceTracksExactValue)
+{
+    SatCounter c(10);
+    c.decrement(); // 9
+    c.decrement(); // 8
+    c.increment(); // 9
+    c.decrement(); // 8
+    c.decrement(); // 7
+    EXPECT_EQ(c.value(), 7u);
+}
+
+} // namespace
+} // namespace cmpsim

@@ -1,0 +1,227 @@
+#include "src/workload/synthetic_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/compression/fpc.h"
+
+namespace cmpsim {
+namespace {
+
+class SyntheticWorkloadTest : public ::testing::Test
+{
+  protected:
+    FpcCompressor fpc;
+    ValueStore values{fpc};
+
+    WorkloadParams
+    simpleParams()
+    {
+        WorkloadParams p;
+        p.load_frac = 0.30;
+        p.store_frac = 0.10;
+        p.branch_frac = 0.15;
+        p.i_footprint = 16 * 1024;
+        p.ws_private = 64 * 1024;
+        p.ws_shared = 32 * 1024;
+        return p;
+    }
+};
+
+TEST_F(SyntheticWorkloadTest, InstructionMixMatchesFractions)
+{
+    SyntheticWorkload wl(simpleParams(), values, 0, 42);
+    std::map<InstrType, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[wl.next().type];
+    EXPECT_NEAR(counts[InstrType::Load] / double(n), 0.30, 0.01);
+    EXPECT_NEAR(counts[InstrType::Store] / double(n), 0.10, 0.01);
+    EXPECT_NEAR(counts[InstrType::Branch] / double(n), 0.15, 0.01);
+    EXPECT_NEAR(counts[InstrType::Alu] / double(n), 0.45, 0.01);
+}
+
+TEST_F(SyntheticWorkloadTest, PcFootprintBounded)
+{
+    // PCs are page-translated; the distinct-line footprint still may
+    // not exceed the configured instruction footprint.
+    auto p = simpleParams();
+    SyntheticWorkload wl(p, values, 0, 1);
+    std::set<Addr> lines;
+    for (int i = 0; i < 50000; ++i)
+        lines.insert(lineAddr(wl.next().pc));
+    EXPECT_LE(lines.size(), p.i_footprint / kLineBytes);
+    EXPECT_GT(lines.size(), p.i_footprint / kLineBytes / 2);
+}
+
+TEST_F(SyntheticWorkloadTest, TranslationIsBijectiveOnPages)
+{
+    std::set<Addr> phys;
+    for (Addr page = 0; page < 20000; ++page) {
+        phys.insert(layout::translate(page * layout::kPageBytes));
+    }
+    EXPECT_EQ(phys.size(), 20000u);
+    // Offsets within a page are preserved.
+    EXPECT_EQ(layout::translate(0x12345678) % layout::kPageBytes,
+              0x12345678 % layout::kPageBytes);
+}
+
+TEST_F(SyntheticWorkloadTest, TranslationScattersCacheSets)
+{
+    // Consecutive pages land on well-spread set indices (the reason
+    // the translation exists; see header comment).
+    // 40 pages x 128 lines cover > 4096 line slots; the permuted page
+    // frames should reach most of the 4096 sets.
+    std::set<Addr> sets;
+    for (Addr page = 0; page < 40; ++page) {
+        for (Addr l = 0; l < layout::kPageBytes / kLineBytes; ++l) {
+            const Addr line = lineNumber(
+                layout::translate(layout::kPrivateBase +
+                                  page * layout::kPageBytes +
+                                  l * kLineBytes));
+            sets.insert(line % 4096);
+        }
+    }
+    EXPECT_GT(sets.size(), 2500u);
+}
+
+TEST_F(SyntheticWorkloadTest, DataFootprintBounded)
+{
+    auto p = simpleParams();
+    SyntheticWorkload wl(p, values, 2, 1);
+    std::set<Addr> lines;
+    for (int i = 0; i < 200000; ++i) {
+        const auto in = wl.next();
+        if (in.type == InstrType::Load || in.type == InstrType::Store)
+            lines.insert(lineAddr(in.addr));
+    }
+    // Distinct data lines stay within the configured footprints: the
+    // private and shared regions plus the dedicated stream area
+    // (ws_stream = 0 here, so stream arrays span up to another
+    // ws_private worth of lines), with an allowance for edge overruns.
+    EXPECT_LE(lines.size(),
+              (2 * p.ws_private + p.ws_shared) / kLineBytes * 21 / 20);
+    EXPECT_GT(lines.size(), p.ws_private / kLineBytes / 2);
+}
+
+TEST_F(SyntheticWorkloadTest, DifferentCoresUseDisjointPrivateRegions)
+{
+    auto p = simpleParams();
+    p.shared_frac = 0.0;
+    SyntheticWorkload w0(p, values, 0, 9);
+    SyntheticWorkload w1(p, values, 1, 9);
+    std::set<Addr> lines0, lines1;
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = w0.next();
+        const auto b = w1.next();
+        if (a.type == InstrType::Load || a.type == InstrType::Store)
+            lines0.insert(lineAddr(a.addr));
+        if (b.type == InstrType::Load || b.type == InstrType::Store)
+            lines1.insert(lineAddr(b.addr));
+    }
+    for (Addr l : lines0)
+        EXPECT_EQ(lines1.count(l), 0u);
+}
+
+TEST_F(SyntheticWorkloadTest, SharedRegionIsShared)
+{
+    auto p = simpleParams();
+    p.shared_frac = 0.5;
+    p.stride_frac = 0.0;
+    SyntheticWorkload w0(p, values, 0, 9);
+    SyntheticWorkload w1(p, values, 1, 10);
+    std::set<Addr> lines0, lines1;
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = w0.next();
+        const auto b = w1.next();
+        if (a.type == InstrType::Load || a.type == InstrType::Store)
+            lines0.insert(lineAddr(a.addr));
+        if (b.type == InstrType::Load || b.type == InstrType::Store)
+            lines1.insert(lineAddr(b.addr));
+    }
+    int overlap = 0;
+    for (Addr l : lines0)
+        overlap += lines1.count(l);
+    EXPECT_GT(overlap, 50);
+}
+
+TEST_F(SyntheticWorkloadTest, TouchedLinesGetValues)
+{
+    SyntheticWorkload wl(simpleParams(), values, 0, 3);
+    for (int i = 0; i < 10000; ++i) {
+        const auto in = wl.next();
+        if (in.type == InstrType::Load || in.type == InstrType::Store) {
+            EXPECT_TRUE(values.hasLine(in.addr));
+        }
+    }
+    EXPECT_GT(values.lineCount(), 100u);
+}
+
+TEST_F(SyntheticWorkloadTest, StridedAccessesFormDetectableStreams)
+{
+    auto p = simpleParams();
+    p.stride_frac = 1.0;
+    p.stream_count = 1;
+    p.stream_len_min = 64;
+    p.stream_len_max = 64;
+    p.stride_bytes = {8};
+    SyntheticWorkload wl(p, values, 0, 5);
+    // Consecutive data addresses advance by 8 bytes.
+    Addr prev = 0;
+    int unit_steps = 0, samples = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const auto in = wl.next();
+        if (in.type != InstrType::Load && in.type != InstrType::Store)
+            continue;
+        if (prev != 0 && in.addr == prev + 8)
+            ++unit_steps;
+        prev = in.addr;
+        ++samples;
+    }
+    EXPECT_GT(unit_steps, samples * 9 / 10);
+}
+
+TEST_F(SyntheticWorkloadTest, MispredictRateRespected)
+{
+    auto p = simpleParams();
+    p.mispredict_rate = 0.25;
+    SyntheticWorkload wl(p, values, 0, 7);
+    int branches = 0, mispredicts = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const auto in = wl.next();
+        if (in.type == InstrType::Branch) {
+            ++branches;
+            mispredicts += in.mispredict;
+        }
+    }
+    EXPECT_NEAR(mispredicts / double(branches), 0.25, 0.02);
+}
+
+TEST_F(SyntheticWorkloadTest, DeterministicGivenSeed)
+{
+    auto p = simpleParams();
+    FpcCompressor f2;
+    ValueStore v2(f2);
+    SyntheticWorkload a(p, values, 0, 11), b(p, v2, 0, 11);
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = a.next(), y = b.next();
+        EXPECT_EQ(x.pc, y.pc);
+        EXPECT_EQ(static_cast<int>(x.type), static_cast<int>(y.type));
+        EXPECT_EQ(x.addr, y.addr);
+    }
+}
+
+TEST_F(SyntheticWorkloadTest, DifferentSeedsDiffer)
+{
+    auto p = simpleParams();
+    SyntheticWorkload a(p, values, 0, 1), b(p, values, 0, 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().pc == b.next().pc;
+    EXPECT_LT(same, 900);
+}
+
+} // namespace
+} // namespace cmpsim

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Timing-behaviour tests that pin down the mechanisms the headline
+ * results rest on: pointer-chase serialization in the core, L2 bank
+ * parallelism, L1 partial hits on in-flight prefetches, and store
+ * permission fix-up for coalesced writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/core_model.h"
+#include "src/compression/fpc.h"
+
+namespace cmpsim {
+namespace {
+
+// ---------------------------------------------------------------
+// Chained-load serialization in the core.
+
+class ChainStream : public InstructionStream
+{
+  public:
+    std::vector<Instruction> script;
+    std::size_t pos = 0;
+
+    Instruction
+    next() override
+    {
+        if (pos < script.size())
+            return script[pos++];
+        Instruction alu;
+        alu.type = InstrType::Alu;
+        alu.pc = 0x10000000;
+        ++pos;
+        return alu;
+    }
+
+    void
+    addLoad(Addr addr, bool chained)
+    {
+        Instruction in;
+        in.type = InstrType::Load;
+        in.pc = 0x10000000;
+        in.addr = addr;
+        in.chained = chained;
+        script.push_back(in);
+    }
+};
+
+class ChainTimingTest : public ::testing::Test
+{
+  protected:
+    EventQueue eq;
+    FpcCompressor fpc;
+    ValueStore values{fpc};
+    std::unique_ptr<MainMemory> mem;
+    std::unique_ptr<L2Cache> l2;
+    std::unique_ptr<L1Cache> icache, dcache;
+    ChainStream stream;
+    std::unique_ptr<CoreModel> core;
+
+    void
+    build()
+    {
+        MemoryParams mp;
+        mem = std::make_unique<MainMemory>(eq, values, mp);
+        L2Params p2;
+        p2.sets = 256;
+        p2.banks = 2;
+        p2.cores = 1;
+        l2 = std::make_unique<L2Cache>(eq, values, *mem, p2);
+        L1Params p1;
+        p1.sets = 16;
+        icache = std::make_unique<L1Cache>(eq, *l2, 0, p1);
+        dcache = std::make_unique<L1Cache>(eq, *l2, 0, p1);
+        CoreParams cp;
+        core = std::make_unique<CoreModel>(eq, *icache, *dcache,
+                                           values, stream, 0, cp);
+    }
+
+    Cycle
+    runUntil(std::uint64_t instructions)
+    {
+        Cycle now = 0;
+        while (core->instructionsRetired() < instructions) {
+            Cycle next = std::min(core->nextWake(), eq.nextEventCycle());
+            cmpsim_assert(next != kCycleNever);
+            if (next < now)
+                next = now;
+            eq.advanceTo(next);
+            now = next;
+            if (core->nextWake() <= now)
+                core->tick(now);
+            cmpsim_assert(now < 50'000'000);
+        }
+        return now;
+    }
+};
+
+TEST_F(ChainTimingTest, IndependentLoadsOverlapChainedDoNot)
+{
+    build();
+    stream.script.clear();
+    for (int i = 0; i < 8; ++i) {
+        Instruction a;
+        a.type = InstrType::Alu;
+        a.pc = 0x10000000;
+        stream.script.push_back(a);
+    }
+    for (int i = 0; i < 4; ++i)
+        stream.addLoad(0x100000 + i * 0x10000, /*chained=*/false);
+    const Cycle warm = runUntil(8);
+    const Cycle independent = runUntil(12) - warm;
+
+    // Rebuild with chained loads.
+    stream = ChainStream();
+    for (int i = 0; i < 8; ++i) {
+        Instruction a;
+        a.type = InstrType::Alu;
+        a.pc = 0x10000000;
+        stream.script.push_back(a);
+    }
+    for (int i = 0; i < 4; ++i)
+        stream.addLoad(0x900000 + i * 0x10000, /*chained=*/true);
+    eq = EventQueue();
+    build();
+    const Cycle warm2 = runUntil(8);
+    const Cycle chained = runUntil(12) - warm2;
+
+    // Four chained ~440-cycle misses serialize; independent ones
+    // overlap almost completely.
+    EXPECT_GT(chained, independent * 3);
+}
+
+TEST_F(ChainTimingTest, ChainedHitsStaySerialButFast)
+{
+    build();
+    // Warm one line, then chase within it: chained L1 hits cost a
+    // few cycles each, far from the miss case.
+    stream.addLoad(0x2000, false);
+    for (int i = 0; i < 16; ++i)
+        stream.addLoad(0x2000 + (i % 8) * 8, true);
+    const Cycle end = runUntil(17);
+    EXPECT_LT(end, 1200u); // one miss + 16 short chained hits
+}
+
+// ---------------------------------------------------------------
+// L2 bank behaviour and L1 MSHR semantics.
+
+class HierTimingTest : public ::testing::Test
+{
+  protected:
+    EventQueue eq;
+    FpcCompressor fpc;
+    ValueStore values{fpc};
+    std::unique_ptr<MainMemory> mem;
+    std::unique_ptr<L2Cache> l2;
+    std::unique_ptr<L1Cache> l1;
+
+    void
+    build(unsigned banks)
+    {
+        MemoryParams mp;
+        mem = std::make_unique<MainMemory>(eq, values, mp);
+        L2Params p2;
+        p2.sets = 64;
+        p2.banks = banks;
+        p2.cores = 1;
+        p2.bank_occupancy = 10; // exaggerate bank serialization
+        l2 = std::make_unique<L2Cache>(eq, values, *mem, p2);
+        L1Params p1;
+        p1.sets = 16;
+        l1 = std::make_unique<L1Cache>(eq, *l2, 0, p1);
+        l2->setL1Invalidator(
+            [this](unsigned, Addr line) { return l1->invalidateLine(line); });
+        l2->setL1Downgrader(
+            [this](unsigned, Addr line) { l1->downgradeLine(line); });
+    }
+
+    /** Warm two lines mapping to the given banks, then time a pair of
+     *  simultaneous L2 hits. */
+    Cycle
+    pairLatency(Addr a, Addr b)
+    {
+        Cycle done_a = 0, done_b = 0;
+        l2->request(0, a, false, ReqType::Demand, 0,
+                    [&](Cycle c, bool, bool) { done_a = c; });
+        l2->request(0, b, false, ReqType::Demand, 0,
+                    [&](Cycle c, bool, bool) { done_b = c; });
+        eq.drain();
+        const Cycle t0 = eq.now() + 1000;
+        l2->request(0, a, false, ReqType::Demand, t0,
+                    [&](Cycle c, bool, bool) { done_a = c; });
+        l2->request(0, b, false, ReqType::Demand, t0,
+                    [&](Cycle c, bool, bool) { done_b = c; });
+        eq.drain();
+        return std::max(done_a, done_b) - t0;
+    }
+};
+
+TEST_F(HierTimingTest, DifferentBanksOverlapSameBankSerializes)
+{
+    build(2);
+    // Lines 0 and 1 hit banks 0 and 1; lines 0 and 2 both hit bank 0.
+    const Cycle cross_bank = pairLatency(0x0, 0x40);
+    eq = EventQueue();
+    build(2);
+    const Cycle same_bank = pairLatency(0x0, 0x80);
+    EXPECT_GT(same_bank, cross_bank);
+}
+
+TEST_F(HierTimingTest, L1PartialHitOnInflightPrefetch)
+{
+    build(2);
+    l1->prefetchLine(0x3000, 0);
+    // Demand access arrives while the prefetch is still in flight:
+    // coalesces (no second L2 fetch) and counts a partial hit, and
+    // the line must NOT carry the prefetch bit afterwards.
+    Cycle done = 0;
+    l1->access(0x3008, false, 5, [&](Cycle c) { done = c; });
+    eq.drain();
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(mem->reads(), 1u);
+    const TagEntry *e =
+        l1->setAt(static_cast<unsigned>(lineNumber(0x3000) % 16))
+            .find(lineAddr(0x3000));
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(e->prefetch);
+    // The prefetcher must not get credit for it later.
+    EXPECT_EQ(l1->prefetchHits(), 0u);
+}
+
+TEST_F(HierTimingTest, CoalescedWriterGetsStorePermission)
+{
+    build(2);
+    // A read miss goes out; a write to the same line coalesces onto
+    // the read's MSHR. After the fill the line must be M (dirty) and
+    // the L2 directory must agree.
+    Cycle read_done = 0, write_done = 0;
+    l1->access(0x5000, false, 0, [&](Cycle c) { read_done = c; });
+    l1->access(0x5010, true, 3, [&](Cycle c) { write_done = c; });
+    eq.drain();
+    EXPECT_GT(read_done, 0u);
+    EXPECT_GT(write_done, 0u);
+    const TagEntry *e =
+        l1->setAt(static_cast<unsigned>(lineNumber(0x5000) % 16))
+            .find(lineAddr(0x5000));
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->dirty);
+    const TagEntry *d =
+        l2->setAt(l2->setIndexOf(lineAddr(0x5000)))
+            .find(lineAddr(0x5000));
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->owner, 0);
+}
+
+} // namespace
+} // namespace cmpsim

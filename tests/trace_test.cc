@@ -1,0 +1,109 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/compression/fpc.h"
+#include "src/workload/synthetic_workload.h"
+
+namespace cmpsim {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    std::string path_;
+
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "cmpsim_trace_test.bin";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+};
+
+TEST_F(TraceTest, RoundTripPreservesInstructions)
+{
+    // Same seed reproduces the same stream only with independent
+    // value stores (first-touch value generation consumes RNG draws).
+    FpcCompressor fpc;
+    ValueStore values_a(fpc), values_b(fpc);
+    auto params = benchmarkParams("zeus").scaled(8);
+    SyntheticWorkload source(params, values_a, 0, 77);
+    SyntheticWorkload reference(params, values_b, 0, 77);
+    TraceWriter::record(source, 5000, path_);
+
+    TraceReader replay(path_);
+    ASSERT_EQ(replay.size(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+        const Instruction a = replay.next();
+        const Instruction b = reference.next();
+        ASSERT_EQ(static_cast<int>(a.type), static_cast<int>(b.type));
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.store_value, b.store_value);
+        ASSERT_EQ(a.mispredict, b.mispredict);
+        ASSERT_EQ(a.chained, b.chained);
+    }
+}
+
+TEST_F(TraceTest, ReplayLoopsAtEnd)
+{
+    std::vector<Instruction> prog(3);
+    prog[0].type = InstrType::Alu;
+    prog[1].type = InstrType::Load;
+    prog[1].addr = 0x100;
+    prog[2].type = InstrType::Branch;
+    TraceReader replay(prog);
+    for (int loop = 0; loop < 4; ++loop) {
+        EXPECT_EQ(static_cast<int>(replay.next().type),
+                  static_cast<int>(InstrType::Alu));
+        EXPECT_EQ(replay.next().addr, 0x100u);
+        EXPECT_EQ(static_cast<int>(replay.next().type),
+                  static_cast<int>(InstrType::Branch));
+    }
+    EXPECT_EQ(replay.loops(), 4u);
+}
+
+TEST_F(TraceTest, FlagsSurviveRoundTrip)
+{
+    std::vector<Instruction> prog(2);
+    prog[0].type = InstrType::Branch;
+    prog[0].mispredict = true;
+    prog[1].type = InstrType::Load;
+    prog[1].chained = true;
+    prog[1].pc = 0xdeadbeef000;
+    TraceReader mem(prog);
+    TraceWriter::record(mem, 2, path_);
+
+    TraceReader replay(path_);
+    const auto a = replay.next();
+    const auto b = replay.next();
+    EXPECT_TRUE(a.mispredict);
+    EXPECT_FALSE(a.chained);
+    EXPECT_TRUE(b.chained);
+    EXPECT_EQ(b.pc, 0xdeadbeef000u);
+}
+
+TEST_F(TraceTest, LargeAddressesPreserved)
+{
+    std::vector<Instruction> prog(1);
+    prog[0].type = InstrType::Store;
+    prog[0].addr = 0x7fff'ffff'ffff'ffc0ULL;
+    prog[0].store_value = 0xffffffffu;
+    TraceReader mem(prog);
+    TraceWriter::record(mem, 1, path_);
+    TraceReader replay(path_);
+    const auto in = replay.next();
+    EXPECT_EQ(in.addr, 0x7fff'ffff'ffff'ffc0ULL);
+    EXPECT_EQ(in.store_value, 0xffffffffu);
+}
+
+} // namespace
+} // namespace cmpsim

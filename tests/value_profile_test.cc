@@ -1,0 +1,121 @@
+#include "src/workload/value_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compression/fpc.h"
+#include "src/workload/workload_params.h"
+
+namespace cmpsim {
+namespace {
+
+/** Mean FPC compression ratio (8 / segments) over sampled lines. */
+double
+measuredRatio(const ValueProfile &profile, std::uint64_t seed,
+              int lines = 2000)
+{
+    ValueGenerator gen(profile);
+    FpcCompressor fpc;
+    Random rng(seed);
+    double total_segments = 0;
+    for (int i = 0; i < lines; ++i)
+        total_segments += fpc.compress(gen.generate(rng)).segments;
+    return lines * 8.0 / total_segments;
+}
+
+TEST(ValueProfileTest, AllZeroProfileMaximallyCompressible)
+{
+    const double r = measuredRatio({1.0, 0.0, 0.0, 0.0}, 1);
+    EXPECT_DOUBLE_EQ(r, 8.0);
+}
+
+TEST(ValueProfileTest, AllRawProfileIncompressible)
+{
+    const double r = measuredRatio({0.0, 0.0, 0.0, 0.0}, 2);
+    EXPECT_NEAR(r, 1.0, 0.02);
+}
+
+TEST(ValueProfileTest, RatioMonotoneInZeroFraction)
+{
+    double prev = 0.9;
+    for (double z : {0.1, 0.3, 0.5, 0.7}) {
+        const double r = measuredRatio({z, 0.1, 0.0, 0.0}, 3);
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+}
+
+TEST(ValueProfileTest, GenerateWordRespectsClasses)
+{
+    ValueGenerator gen({1.0, 0.0, 0.0, 0.0});
+    Random rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(gen.generateWord(rng), 0u);
+}
+
+/** The per-benchmark profiles must land near the paper's Table 3
+ *  bands: commercial 1.3-1.9, SPEComp 1.0-1.25. */
+class BenchmarkCompressibility
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BenchmarkCompressibility, RatioInPaperBand)
+{
+    const auto params = benchmarkParams(GetParam());
+    const double r = measuredRatio(params.values, 7);
+    if (isCommercial(GetParam())) {
+        EXPECT_GE(r, 1.30) << GetParam();
+        EXPECT_LE(r, 2.00) << GetParam();
+    } else {
+        EXPECT_GE(r, 1.00) << GetParam();
+        EXPECT_LE(r, 1.30) << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkCompressibility,
+                         ::testing::Values("apache", "zeus", "oltp",
+                                           "jbb", "art", "apsi", "fma3d",
+                                           "mgrid"));
+
+TEST(BenchmarkParamsTest, OltpMostCompressibleCommercial)
+{
+    // Table 3: oltp ~1.8 tops the commercial band.
+    const double oltp = measuredRatio(benchmarkParams("oltp").values, 11);
+    const double jbb = measuredRatio(benchmarkParams("jbb").values, 11);
+    EXPECT_GT(oltp, jbb);
+    EXPECT_NEAR(oltp, 1.8, 0.25);
+}
+
+TEST(BenchmarkParamsTest, ApsiNearlyIncompressible)
+{
+    const double r = measuredRatio(benchmarkParams("apsi").values, 13);
+    EXPECT_NEAR(r, 1.03, 0.05);
+}
+
+TEST(BenchmarkParamsTest, RegistryListsEightWorkloads)
+{
+    EXPECT_EQ(benchmarkNames().size(), 8u);
+    for (const auto &name : benchmarkNames())
+        EXPECT_EQ(benchmarkParams(name).name, name);
+}
+
+TEST(BenchmarkParamsTest, ScaledDividesFootprints)
+{
+    const auto full = benchmarkParams("apache");
+    const auto quarter = full.scaled(4);
+    EXPECT_EQ(quarter.ws_private, full.ws_private / 4);
+    EXPECT_EQ(quarter.i_footprint, full.i_footprint / 4);
+    EXPECT_EQ(quarter.ws_shared, full.ws_shared / 4);
+    // Fractions untouched.
+    EXPECT_DOUBLE_EQ(quarter.stride_frac, full.stride_frac);
+}
+
+TEST(BenchmarkParamsTest, ScaleOneIsIdentity)
+{
+    const auto full = benchmarkParams("mgrid");
+    const auto same = full.scaled(1);
+    EXPECT_EQ(same.ws_private, full.ws_private);
+}
+
+} // namespace
+} // namespace cmpsim

@@ -1,0 +1,73 @@
+#include "src/mem/value_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compression/fpc.h"
+
+namespace cmpsim {
+namespace {
+
+class ValueStoreTest : public ::testing::Test
+{
+  protected:
+    FpcCompressor fpc;
+    ValueStore store{fpc};
+};
+
+TEST_F(ValueStoreTest, UntouchedLinesReadZero)
+{
+    EXPECT_FALSE(store.hasLine(0x1000));
+    EXPECT_EQ(store.line(0x1000), zeroLine());
+    // Zero lines compress to one segment under FPC.
+    EXPECT_EQ(store.segments(0x1000), 1u);
+}
+
+TEST_F(ValueStoreTest, SetLineRoundTrip)
+{
+    LineData d{};
+    setLineWord(d, 3, 0xdeadbeef);
+    store.setLine(0x2040, d);
+    EXPECT_TRUE(store.hasLine(0x2040));
+    EXPECT_EQ(store.line(0x2047), d); // any addr within the line
+    EXPECT_EQ(lineWord(store.line(0x2040), 3), 0xdeadbeefu);
+}
+
+TEST_F(ValueStoreTest, WriteWordUpdatesLineAndSize)
+{
+    // All-zero line: 1 segment. Make every word raw: size grows.
+    EXPECT_EQ(store.segments(0x3000), 1u);
+    for (unsigned i = 0; i < kWordsPerLine; ++i)
+        store.writeWord(0x3000 + i * 4, 0x89abcdefu + i * 1097);
+    EXPECT_EQ(store.segments(0x3000), kSegmentsPerLine);
+}
+
+TEST_F(ValueStoreTest, SegmentsMemoInvalidatedOnWrite)
+{
+    store.writeWord(0x4000, 5); // Se4 word + 15 zeros: tiny
+    const unsigned small = store.segments(0x4000);
+    EXPECT_EQ(small, 1u);
+    for (unsigned i = 0; i < kWordsPerLine; ++i)
+        store.writeWord(0x4000 + i * 4, 0xf0e1d2c3u ^ (i * 0x9e3779b9u));
+    EXPECT_GT(store.segments(0x4000), small);
+}
+
+TEST_F(ValueStoreTest, LinesAreIndependent)
+{
+    store.writeWord(0x5000, 1);
+    store.writeWord(0x5040, 2);
+    EXPECT_EQ(lineWord(store.line(0x5000), 0), 1u);
+    EXPECT_EQ(lineWord(store.line(0x5040), 0), 2u);
+    EXPECT_EQ(store.lineCount(), 2u);
+}
+
+TEST_F(ValueStoreTest, SegmentsMatchCompressorDirectly)
+{
+    LineData d{};
+    for (unsigned i = 0; i < kWordsPerLine; ++i)
+        setLineWord(d, i, i % 2 ? 100u : 0u);
+    store.setLine(0x6000, d);
+    EXPECT_EQ(store.segments(0x6000), fpc.compress(d).segments);
+}
+
+} // namespace
+} // namespace cmpsim

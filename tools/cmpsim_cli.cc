@@ -1,0 +1,216 @@
+/**
+ * @file
+ * cmpsim command-line driver: configure any system the paper
+ * evaluates (and the ablation variants), run one simulation, and dump
+ * the statistics.
+ *
+ *   cmpsim --workload zeus --compression --prefetch --adaptive
+ *   cmpsim --workload jbb --cores 16 --bandwidth 10 --stats
+ *   cmpsim --workload apache --record trace.bin --record-count 100000
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "src/core_api/cmp_system.h"
+#include "src/workload/trace.h"
+
+using namespace cmpsim;
+
+namespace {
+
+struct CliOptions
+{
+    std::string workload = "zeus";
+    std::string record_path;
+    std::uint64_t record_count = 100000;
+    unsigned cores = 8;
+    unsigned scale = 4;
+    bool cache_compression = false;
+    bool link_compression = false;
+    bool prefetch = false;
+    bool adaptive = false;
+    bool adaptive_compression = false;
+    bool infinite_bw = false;
+    double bandwidth = 20.0;
+    std::uint64_t warmup = 400000;
+    std::uint64_t measure = 50000;
+    std::uint64_t seed = 1;
+    bool dump_stats = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "cmpsim — CMP compression/prefetching simulator (HPCA'07 "
+        "reproduction)\n\n"
+        "usage: cmpsim [flags]\n\n"
+        "  --workload NAME     apache zeus oltp jbb art apsi fma3d "
+        "mgrid (default zeus)\n"
+        "  --record FILE       record the workload's instruction "
+        "stream to FILE and exit\n"
+        "  --record-count N    instructions to record (default "
+        "100000)\n"
+        "  --cores N           1..16 (default 8)\n"
+        "  --scale N           capacity divisor; 1 = paper-size 4 MB "
+        "L2 (default 4)\n"
+        "  --compression       cache + link compression\n"
+        "  --cache-compression / --link-compression  individually\n"
+        "  --adaptive-compression  ISCA'04 compression policy\n"
+        "  --prefetch          L1I/L1D/L2 stride prefetchers\n"
+        "  --adaptive          adaptive prefetch throttling\n"
+        "  --bandwidth GBPS    pin bandwidth (default 20)\n"
+        "  --infinite-bw       measure bandwidth demand (no queuing)\n"
+        "  --warmup N          functional warmup instr/core (default "
+        "400000)\n"
+        "  --measure N         timed instr/core (default 50000)\n"
+        "  --seed N            RNG seed (default 1)\n"
+        "  --stats             dump every registered counter\n"
+        "  --help\n");
+    std::exit(code);
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions o;
+    auto need_value = [&](int i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            usage(1);
+        }
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(0);
+        } else if (a == "--workload") {
+            o.workload = need_value(i++);
+        } else if (a == "--record") {
+            o.record_path = need_value(i++);
+        } else if (a == "--record-count") {
+            o.record_count = std::strtoull(need_value(i++), nullptr, 10);
+        } else if (a == "--cores") {
+            o.cores = static_cast<unsigned>(
+                std::strtoul(need_value(i++), nullptr, 10));
+        } else if (a == "--scale") {
+            o.scale = static_cast<unsigned>(
+                std::strtoul(need_value(i++), nullptr, 10));
+        } else if (a == "--compression") {
+            o.cache_compression = o.link_compression = true;
+        } else if (a == "--cache-compression") {
+            o.cache_compression = true;
+        } else if (a == "--link-compression") {
+            o.link_compression = true;
+        } else if (a == "--adaptive-compression") {
+            o.adaptive_compression = true;
+        } else if (a == "--prefetch") {
+            o.prefetch = true;
+        } else if (a == "--adaptive") {
+            o.prefetch = true;
+            o.adaptive = true;
+        } else if (a == "--bandwidth") {
+            o.bandwidth = std::strtod(need_value(i++), nullptr);
+        } else if (a == "--infinite-bw") {
+            o.infinite_bw = true;
+        } else if (a == "--warmup") {
+            o.warmup = std::strtoull(need_value(i++), nullptr, 10);
+        } else if (a == "--measure") {
+            o.measure = std::strtoull(need_value(i++), nullptr, 10);
+        } else if (a == "--seed") {
+            o.seed = std::strtoull(need_value(i++), nullptr, 10);
+        } else if (a == "--stats") {
+            o.dump_stats = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+            usage(1);
+        }
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions o = parse(argc, argv);
+
+    if (!o.record_path.empty()) {
+        // Trace-capture mode: no simulation, just the stream.
+        FpcCompressor fpc;
+        ValueStore values(fpc);
+        const auto params =
+            benchmarkParams(o.workload).scaled(o.scale);
+        SyntheticWorkload stream(params, values, 0, o.seed);
+        TraceWriter::record(stream, o.record_count, o.record_path);
+        std::printf("recorded %llu instructions of %s to %s\n",
+                    static_cast<unsigned long long>(o.record_count),
+                    o.workload.c_str(), o.record_path.c_str());
+        return 0;
+    }
+
+    SystemConfig cfg =
+        makeConfig(o.cores, o.scale, o.cache_compression,
+                   o.link_compression, o.prefetch, o.adaptive,
+                   o.bandwidth);
+    cfg.infinite_bandwidth = o.infinite_bw;
+    cfg.adaptive_compression = o.adaptive_compression;
+    cfg.seed = o.seed;
+
+    std::printf("cmpsim: %s, %u cores, scale %u (L2 %u KB), "
+                "%.0f GB/s%s%s%s%s%s\n",
+                o.workload.c_str(),
+                o.cores, o.scale, 4096 / o.scale, o.bandwidth,
+                o.infinite_bw ? " (infinite)" : "",
+                o.cache_compression ? ", cache-compr" : "",
+                o.link_compression ? ", link-compr" : "",
+                o.prefetch ? ", prefetch" : "",
+                o.adaptive ? " (adaptive)" : "");
+
+    CmpSystem sys(cfg, benchmarkParams(o.workload));
+    sys.warmup(o.warmup);
+    sys.run(o.measure);
+
+    std::printf("\ncycles        %llu\n",
+                static_cast<unsigned long long>(sys.cycles()));
+    std::printf("instructions  %llu\n",
+                static_cast<unsigned long long>(sys.instructions()));
+    std::printf("IPC           %.3f (%.3f per core)\n", sys.ipc(),
+                sys.ipc() / o.cores);
+    std::printf("off-chip bw   %.2f GB/s\n", sys.bandwidthGBps());
+    const auto &reg = sys.stats();
+    const double ki = static_cast<double>(sys.instructions()) / 1000.0;
+    std::printf("L2 misses     %llu (%.2f per 1k instr)\n",
+                static_cast<unsigned long long>(
+                    reg.counter("l2.demand_misses")),
+                static_cast<double>(reg.counter("l2.demand_misses")) /
+                    ki);
+    if (o.cache_compression)
+        std::printf("L2 ratio      %.2f\n", sys.compressionRatio());
+    if (o.prefetch) {
+        std::printf("L2 prefetches %llu issued, %llu hits\n",
+                    static_cast<unsigned long long>(
+                        reg.counter("l2.l2pf_issued")),
+                    static_cast<unsigned long long>(
+                        reg.counter("l2.pf_hits_l2")));
+        if (o.adaptive)
+            std::printf("L2 adaptive counter %u / 25\n",
+                        sys.l2Adaptive().counterValue());
+    }
+
+    if (o.dump_stats) {
+        std::printf("\n--- full statistics ---\n");
+        std::ostringstream os;
+        reg.dump(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    return 0;
+}
