@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_miss_reduction.dir/fig03_miss_reduction.cc.o"
+  "CMakeFiles/fig03_miss_reduction.dir/fig03_miss_reduction.cc.o.d"
+  "fig03_miss_reduction"
+  "fig03_miss_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_miss_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_bandwidth_demand.dir/fig04_bandwidth_demand.cc.o"
+  "CMakeFiles/fig04_bandwidth_demand.dir/fig04_bandwidth_demand.cc.o.d"
+  "fig04_bandwidth_demand"
+  "fig04_bandwidth_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_bandwidth_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bandwidth_pref_compr.dir/fig07_bandwidth_pref_compr.cc.o"
+  "CMakeFiles/fig07_bandwidth_pref_compr.dir/fig07_bandwidth_pref_compr.cc.o.d"
+  "fig07_bandwidth_pref_compr"
+  "fig07_bandwidth_pref_compr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bandwidth_pref_compr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_miss_classification.dir/fig08_miss_classification.cc.o"
+  "CMakeFiles/fig08_miss_classification.dir/fig08_miss_classification.cc.o.d"
+  "fig08_miss_classification"
+  "fig08_miss_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_miss_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_speedup_combos.dir/fig09_speedup_combos.cc.o"
+  "CMakeFiles/fig09_speedup_combos.dir/fig09_speedup_combos.cc.o.d"
+  "fig09_speedup_combos"
+  "fig09_speedup_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_speedup_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_core_scaling.dir/fig12_core_scaling.cc.o"
+  "CMakeFiles/fig12_core_scaling.dir/fig12_core_scaling.cc.o.d"
+  "fig12_core_scaling"
+  "fig12_core_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_prefetch_properties.dir/table4_prefetch_properties.cc.o"
+  "CMakeFiles/table4_prefetch_properties.dir/table4_prefetch_properties.cc.o.d"
+  "table4_prefetch_properties"
+  "table4_prefetch_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_prefetch_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_interactions.dir/table5_interactions.cc.o"
+  "CMakeFiles/table5_interactions.dir/table5_interactions.cc.o.d"
+  "table5_interactions"
+  "table5_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_prefetch_demo.dir/adaptive_prefetch_demo.cc.o"
+  "CMakeFiles/adaptive_prefetch_demo.dir/adaptive_prefetch_demo.cc.o.d"
+  "adaptive_prefetch_demo"
+  "adaptive_prefetch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_prefetch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_scaling.dir/webserver_scaling.cc.o"
+  "CMakeFiles/webserver_scaling.dir/webserver_scaling.cc.o.d"
+  "webserver_scaling"
+  "webserver_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

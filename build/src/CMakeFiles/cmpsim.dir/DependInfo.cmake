@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/decoupled_set.cc" "src/CMakeFiles/cmpsim.dir/cache/decoupled_set.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/cache/decoupled_set.cc.o.d"
+  "/root/repo/src/cache/l1_cache.cc" "src/CMakeFiles/cmpsim.dir/cache/l1_cache.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/cache/l1_cache.cc.o.d"
+  "/root/repo/src/cache/l2_cache.cc" "src/CMakeFiles/cmpsim.dir/cache/l2_cache.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/cache/l2_cache.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/cmpsim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/cmpsim.dir/common/random.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/cmpsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/compression/bdi.cc" "src/CMakeFiles/cmpsim.dir/compression/bdi.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/compression/bdi.cc.o.d"
+  "/root/repo/src/compression/fpc.cc" "src/CMakeFiles/cmpsim.dir/compression/fpc.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/compression/fpc.cc.o.d"
+  "/root/repo/src/core/core_model.cc" "src/CMakeFiles/cmpsim.dir/core/core_model.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/core/core_model.cc.o.d"
+  "/root/repo/src/core_api/cmp_system.cc" "src/CMakeFiles/cmpsim.dir/core_api/cmp_system.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/core_api/cmp_system.cc.o.d"
+  "/root/repo/src/core_api/experiment.cc" "src/CMakeFiles/cmpsim.dir/core_api/experiment.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/core_api/experiment.cc.o.d"
+  "/root/repo/src/core_api/miss_classify.cc" "src/CMakeFiles/cmpsim.dir/core_api/miss_classify.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/core_api/miss_classify.cc.o.d"
+  "/root/repo/src/core_api/system_config.cc" "src/CMakeFiles/cmpsim.dir/core_api/system_config.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/core_api/system_config.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/cmpsim.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/mem/priority_link.cc" "src/CMakeFiles/cmpsim.dir/mem/priority_link.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/mem/priority_link.cc.o.d"
+  "/root/repo/src/prefetch/stride_prefetcher.cc" "src/CMakeFiles/cmpsim.dir/prefetch/stride_prefetcher.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/prefetch/stride_prefetcher.cc.o.d"
+  "/root/repo/src/workload/benchmarks.cc" "src/CMakeFiles/cmpsim.dir/workload/benchmarks.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/workload/benchmarks.cc.o.d"
+  "/root/repo/src/workload/synthetic_workload.cc" "src/CMakeFiles/cmpsim.dir/workload/synthetic_workload.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/workload/synthetic_workload.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/cmpsim.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/value_profile.cc" "src/CMakeFiles/cmpsim.dir/workload/value_profile.cc.o" "gcc" "src/CMakeFiles/cmpsim.dir/workload/value_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

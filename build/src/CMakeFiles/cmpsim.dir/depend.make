@@ -1,0 +1,2 @@
+# Empty dependencies file for cmpsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_compression_test.dir/adaptive_compression_test.cc.o"
+  "CMakeFiles/adaptive_compression_test.dir/adaptive_compression_test.cc.o.d"
+  "adaptive_compression_test"
+  "adaptive_compression_test.pdb"
+  "adaptive_compression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

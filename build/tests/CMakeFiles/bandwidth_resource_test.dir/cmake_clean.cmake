@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_resource_test.dir/bandwidth_resource_test.cc.o"
+  "CMakeFiles/bandwidth_resource_test.dir/bandwidth_resource_test.cc.o.d"
+  "bandwidth_resource_test"
+  "bandwidth_resource_test.pdb"
+  "bandwidth_resource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_system_test.dir/cmp_system_test.cc.o"
+  "CMakeFiles/cmp_system_test.dir/cmp_system_test.cc.o.d"
+  "cmp_system_test"
+  "cmp_system_test.pdb"
+  "cmp_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

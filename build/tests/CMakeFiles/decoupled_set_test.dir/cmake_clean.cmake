@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupled_set_test.dir/decoupled_set_test.cc.o"
+  "CMakeFiles/decoupled_set_test.dir/decoupled_set_test.cc.o.d"
+  "decoupled_set_test"
+  "decoupled_set_test.pdb"
+  "decoupled_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupled_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

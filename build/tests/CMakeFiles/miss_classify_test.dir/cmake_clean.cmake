@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_classify_test.dir/miss_classify_test.cc.o"
+  "CMakeFiles/miss_classify_test.dir/miss_classify_test.cc.o.d"
+  "miss_classify_test"
+  "miss_classify_test.pdb"
+  "miss_classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_counter_test.dir/sat_counter_test.cc.o"
+  "CMakeFiles/sat_counter_test.dir/sat_counter_test.cc.o.d"
+  "sat_counter_test"
+  "sat_counter_test.pdb"
+  "sat_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

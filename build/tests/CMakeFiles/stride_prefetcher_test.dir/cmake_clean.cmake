@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stride_prefetcher_test.dir/stride_prefetcher_test.cc.o"
+  "CMakeFiles/stride_prefetcher_test.dir/stride_prefetcher_test.cc.o.d"
+  "stride_prefetcher_test"
+  "stride_prefetcher_test.pdb"
+  "stride_prefetcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stride_prefetcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_workload_test.dir/synthetic_workload_test.cc.o"
+  "CMakeFiles/synthetic_workload_test.dir/synthetic_workload_test.cc.o.d"
+  "synthetic_workload_test"
+  "synthetic_workload_test.pdb"
+  "synthetic_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_behavior_test.dir/timing_behavior_test.cc.o"
+  "CMakeFiles/timing_behavior_test.dir/timing_behavior_test.cc.o.d"
+  "timing_behavior_test"
+  "timing_behavior_test.pdb"
+  "timing_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_profile_test.dir/value_profile_test.cc.o"
+  "CMakeFiles/value_profile_test.dir/value_profile_test.cc.o.d"
+  "value_profile_test"
+  "value_profile_test.pdb"
+  "value_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

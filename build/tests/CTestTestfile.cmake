@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_counter_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/bitstream_test[1]_include.cmake")
+include("/root/repo/build/tests/fpc_test[1]_include.cmake")
+include("/root/repo/build/tests/bdi_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/bandwidth_resource_test[1]_include.cmake")
+include("/root/repo/build/tests/value_store_test[1]_include.cmake")
+include("/root/repo/build/tests/main_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/decoupled_set_test[1]_include.cmake")
+include("/root/repo/build/tests/stride_prefetcher_test[1]_include.cmake")
+include("/root/repo/build/tests/l2_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/l1_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/value_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_model_test[1]_include.cmake")
+include("/root/repo/build/tests/miss_classify_test[1]_include.cmake")
+include("/root/repo/build/tests/cmp_system_test[1]_include.cmake")
+include("/root/repo/build/tests/priority_link_test[1]_include.cmake")
+include("/root/repo/build/tests/coherence_property_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_compression_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_behavior_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpsim_cli.dir/cmpsim_cli.cc.o"
+  "CMakeFiles/cmpsim_cli.dir/cmpsim_cli.cc.o.d"
+  "cmpsim"
+  "cmpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
