@@ -40,22 +40,36 @@ DecoupledSet::touch(Addr line)
                  static_cast<unsigned long>(line));
 }
 
+void
+DecoupledSet::retireTag(std::vector<TagEntry>::iterator it)
+{
+    used_segments_ -= it->segments;
+    // Leave a victim tag: address only, all other state cleared.
+    it->valid = false;
+    it->dirty = false;
+    it->prefetch = false;
+    it->pf_source = PfSource::None;
+    it->was_compressed = false;
+    it->segments = kSegmentsPerLine;
+    it->sharers = 0;
+    it->owner = kNoOwner;
+    // Rotate the fresh victim tag just behind the last valid entry so
+    // valids remain a contiguous MRU prefix and the newest victim
+    // heads the victim region (insert() reuses the backmost invalid
+    // tag, so older victims are recycled first).
+    auto end_valid = it + 1;
+    while (end_valid != entries_.end() && end_valid->valid)
+        ++end_valid;
+    std::rotate(it, it + 1, end_valid);
+}
+
 TagEntry
 DecoupledSet::evictLruValid()
 {
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
         if (it->valid) {
             TagEntry victim = *it;
-            used_segments_ -= it->segments;
-            // Leave a victim tag in place: address only.
-            it->valid = false;
-            it->dirty = false;
-            it->prefetch = false;
-            it->pf_source = PfSource::None;
-            it->was_compressed = false;
-            it->segments = kSegmentsPerLine;
-            it->sharers = 0;
-            it->owner = kNoOwner;
+            retireTag(it.base() - 1);
             return victim;
         }
     }
@@ -129,20 +143,12 @@ DecoupledSet::resize(Addr line, unsigned segments)
         for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
             if (it->valid && it->line != line) {
                 TagEntry victim = *it;
-                used_segments_ -= it->segments;
-                it->valid = false;
-                it->dirty = false;
-                it->prefetch = false;
-                it->pf_source = PfSource::None;
-                it->was_compressed = false;
-                it->segments = kSegmentsPerLine;
-                it->sharers = 0;
-                it->owner = kNoOwner;
+                retireTag(it.base() - 1);
                 evicted.push_back(victim);
                 break;
             }
         }
-        e = find(line); // vector untouched, but stay defensive
+        e = find(line); // retireTag reordered the stack; re-find
     }
     used_segments_ += grow;
     e->segments = static_cast<std::uint8_t>(segments);
@@ -152,20 +158,14 @@ DecoupledSet::resize(Addr line, unsigned segments)
 TagEntry
 DecoupledSet::invalidate(Addr line)
 {
-    TagEntry *e = find(line);
-    if (e == nullptr)
-        return TagEntry{};
-    TagEntry prior = *e;
-    used_segments_ -= e->segments;
-    e->valid = false;
-    e->dirty = false;
-    e->prefetch = false;
-    e->pf_source = PfSource::None;
-    e->was_compressed = false;
-    e->segments = kSegmentsPerLine;
-    e->sharers = 0;
-    e->owner = kNoOwner;
-    return prior;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->valid && it->line == line) {
+            TagEntry prior = *it;
+            retireTag(it);
+            return prior;
+        }
+    }
+    return TagEntry{};
 }
 
 bool

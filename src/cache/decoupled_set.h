@@ -27,7 +27,17 @@
 
 namespace cmpsim {
 
-/** One set: an LRU stack of tags over a shared segment pool. */
+/**
+ * One set: an LRU stack of tags over a shared segment pool.
+ *
+ * Structural invariants (audited by auditDecoupledSet() in
+ * src/audit/audits.h):
+ *  - valid entries form a contiguous MRU prefix of the stack; victim
+ *    tags and empty tags always sit behind every valid entry;
+ *  - the sum of valid entries' segment counts equals usedSegments()
+ *    and never exceeds segmentBudget();
+ *  - no two valid entries share a line address.
+ */
 class DecoupledSet
 {
   public:
@@ -94,6 +104,13 @@ class DecoupledSet
     /** MRU-to-LRU entry view (tests, stats, compression ratio). */
     const std::vector<TagEntry> &entries() const { return entries_; }
 
+    /**
+     * Mutable entry access for audit-test fault injection ONLY:
+     * bypasses all segment accounting, so any real caller corrupts
+     * the set. Production code must use insert()/resize()/invalidate().
+     */
+    TagEntry &entryForTest(unsigned i) { return entries_.at(i); }
+
     /** The LRU-stack depth (0 = MRU) of @p line among valid entries. */
     int validStackDepth(Addr line) const;
 
@@ -101,6 +118,13 @@ class DecoupledSet
     /** Evict the LRU-most valid entry; returns it and leaves a victim
      *  tag at the LRU end of the stack. */
     TagEntry evictLruValid();
+
+    /**
+     * Invalidate the valid entry at @p it, leaving a victim tag, and
+     * rotate it just behind the remaining valid entries so valids stay
+     * a contiguous MRU prefix (the audited stack-order invariant).
+     */
+    void retireTag(std::vector<TagEntry>::iterator it);
 
     std::vector<TagEntry> entries_; // front = MRU, back = LRU
     unsigned segment_budget_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/audit/audits.h"
+
 namespace cmpsim {
 
 L1Cache::L1Cache(EventQueue &eq, L2Cache &l2, unsigned cpu,
@@ -342,6 +344,79 @@ L1Cache::resetStats()
     partial_hits_.reset();
     invalidations_received_.reset();
     decomp_avoided_.reset();
+}
+
+void
+L1Cache::registerAudits(InvariantRegistry &reg, const std::string &name)
+{
+    reg.add(name + ".set_integrity", [this](std::string &why) {
+        for (unsigned i = 0; i < sets_.size(); ++i) {
+            std::string detail;
+            if (!auditDecoupledSet(sets_[i],
+                                   /*require_full_charge=*/true,
+                                   detail)) {
+                why = auditFormat("set %u: %s", i, detail.c_str());
+                return false;
+            }
+        }
+        return true;
+    });
+
+    reg.add(name + ".mshr_limit", [this](std::string &why) {
+        if (mshrs_.size() > params_.mshrs) {
+            why = auditFormat("%zu MSHRs allocated, limit %u",
+                              mshrs_.size(), params_.mshrs);
+            return false;
+        }
+        return true;
+    });
+
+    reg.add(name + ".access_balance", [this](std::string &why) {
+        // A timed access resolves as exactly one of hit / miss /
+        // upgrade; the functional path counts an upgrade as a hit as
+        // well, hence the band rather than an equality.
+        const std::uint64_t lo = hits_.value() + misses_.value();
+        const std::uint64_t hi = lo + upgrades_.value();
+        if (accesses_.value() < lo || accesses_.value() > hi) {
+            why = auditFormat(
+                "accesses %llu outside [hits %llu + misses %llu, "
+                "+ upgrades %llu]",
+                static_cast<unsigned long long>(accesses_.value()),
+                static_cast<unsigned long long>(hits_.value()),
+                static_cast<unsigned long long>(misses_.value()),
+                static_cast<unsigned long long>(upgrades_.value()));
+            return false;
+        }
+        return true;
+    });
+
+    if (adaptive_ != nullptr) {
+        reg.add(name + ".adaptive_feedback", [this](std::string &why) {
+            if (adaptive_->usefulCount() != pf_hits_.value() ||
+                adaptive_->uselessCount() !=
+                    pf_useless_evicted_.value() ||
+                adaptive_->harmfulCount() !=
+                    harmful_miss_flags_.value()) {
+                why = auditFormat(
+                    "controller (useful %llu, useless %llu, harmful "
+                    "%llu) disagrees with cache (pf_hits %llu, "
+                    "pf_useless_evicted %llu, harmful_miss_flags %llu)",
+                    static_cast<unsigned long long>(
+                        adaptive_->usefulCount()),
+                    static_cast<unsigned long long>(
+                        adaptive_->uselessCount()),
+                    static_cast<unsigned long long>(
+                        adaptive_->harmfulCount()),
+                    static_cast<unsigned long long>(pf_hits_.value()),
+                    static_cast<unsigned long long>(
+                        pf_useless_evicted_.value()),
+                    static_cast<unsigned long long>(
+                        harmful_miss_flags_.value()));
+                return false;
+            }
+            return true;
+        });
+    }
 }
 
 } // namespace cmpsim

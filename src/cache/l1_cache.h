@@ -35,6 +35,8 @@
 
 namespace cmpsim {
 
+class InvariantRegistry;
+
 /** Static configuration of one L1. */
 struct L1Params
 {
@@ -119,6 +121,13 @@ class L1Cache
 
     void registerStats(StatRegistry &reg, const std::string &prefix);
     void resetStats();
+
+    /**
+     * Register this cache's invariants under "<name>.*": per-set
+     * structural integrity (full 8-segment charge — L1s never store
+     * compressed), the MSHR limit, and access/hit/miss balance.
+     */
+    void registerAudits(InvariantRegistry &reg, const std::string &name);
 
     /** Test hook. */
     const DecoupledSet &setAt(unsigned index) const { return sets_[index]; }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/audit/audits.h"
+#include "src/compression/bdi.h"
+
 namespace cmpsim {
 
 namespace {
@@ -76,6 +79,9 @@ L2Cache::request(unsigned cpu, Addr line, bool exclusive, ReqType type,
                  Cycle when, Done done)
 {
     cmpsim_assert(line == lineAddr(line));
+
+    if (type == ReqType::L2Prefetch)
+        ++l2pf_in_network_;
 
     // L2-prefetcher requests originate at the L2 and skip the
     // L1-to-L2 interconnect; everything else crosses it.
@@ -153,6 +159,10 @@ L2Cache::lookup(unsigned cpu, Addr line, bool exclusive, ReqType type,
 
     if (type == ReqType::Demand)
         ++demand_accesses_;
+    if (type == ReqType::L2Prefetch) {
+        cmpsim_assert(l2pf_in_network_ > 0);
+        --l2pf_in_network_;
+    }
 
     if (e != nullptr) {
         // ------------------------------ hit
@@ -371,6 +381,9 @@ L2Cache::fill(Addr line, Cycle arrival)
         }
     }
 
+    if (params_.verify_fill_roundtrip)
+        verifyFillRoundTrip(line);
+
     for (const TagEntry &victim : set.insert(entry))
         handleVictim(victim, arrival);
 
@@ -382,6 +395,26 @@ L2Cache::fill(Addr line, Cycle arrival)
         grant(w.cpu, line, w.exclusive, w.type,
               arrival + (penalized ? params_.decompression_latency : 0),
               penalized, w.done);
+    }
+}
+
+void
+L2Cache::verifyFillRoundTrip(Addr line)
+{
+    // BDI rides along as a second, structurally different codec: a bug
+    // in the shared BitStream plumbing that FPC happens to mask still
+    // gets caught here.
+    static const BdiCompressor bdi;
+    const LineData &data = values_.line(line);
+    std::string why;
+    if (!auditCompressorRoundTrip(values_.compressor(), data, why)) {
+        cmpsim_panic("fill of line %#llx failed %s round-trip: %s",
+                     static_cast<unsigned long long>(line),
+                     values_.compressor().name().c_str(), why.c_str());
+    }
+    if (!auditCompressorRoundTrip(bdi, data, why)) {
+        cmpsim_panic("fill of line %#llx failed bdi round-trip: %s",
+                     static_cast<unsigned long long>(line), why.c_str());
     }
 }
 
@@ -563,6 +596,9 @@ L2Cache::accessFunctional(unsigned cpu, Addr line, bool exclusive,
             ++pf_fills_l1_;
     }
 
+    if (params_.verify_fill_roundtrip)
+        verifyFillRoundTrip(line);
+
     {
         // Victim handling with no bandwidth accounting.
         const bool saved = functional_mode_;
@@ -683,6 +719,134 @@ L2Cache::resetStats()
     gcp_benefit_events_.reset();
     gcp_cost_events_.reset();
     onchip_.resetStats();
+    // Prefetches generated before the reset resolve (as issued /
+    // squashed / dropped) after it; remember how many are in flight so
+    // the pipeline audit's conservation equation still balances.
+    l2pf_pending_at_reset_ = l2pf_in_network_;
+}
+
+void
+L2Cache::registerAudits(InvariantRegistry &reg, const std::string &name)
+{
+    reg.add(name + ".set_integrity", [this](std::string &why) {
+        for (unsigned i = 0; i < sets_.size(); ++i) {
+            std::string detail;
+            if (!auditDecoupledSet(sets_[i], !params_.compressed,
+                                   detail)) {
+                why = auditFormat("set %u: %s", i, detail.c_str());
+                return false;
+            }
+        }
+        return true;
+    });
+
+    reg.add(name + ".pf_mshr_accounting", [this](std::string &why) {
+        std::uint64_t budget_sum = 0;
+        for (unsigned c = 0; c < pf_outstanding_.size(); ++c) {
+            if (pf_outstanding_[c] > params_.prefetch_outstanding) {
+                why = auditFormat(
+                    "core %u holds %u outstanding L2 prefetches, "
+                    "budget %u",
+                    c, pf_outstanding_[c], params_.prefetch_outstanding);
+                return false;
+            }
+            budget_sum += pf_outstanding_[c];
+        }
+        std::uint64_t l2pf_mshrs = 0;
+        for (const auto &[line, m] : mshrs_) {
+            (void)line;
+            l2pf_mshrs += m.pf_source == PfSource::L2 ? 1 : 0;
+        }
+        if (budget_sum != l2pf_mshrs) {
+            why = auditFormat(
+                "per-core outstanding-prefetch budgets sum to %llu but "
+                "%llu L2-prefetch MSHRs are allocated",
+                static_cast<unsigned long long>(budget_sum),
+                static_cast<unsigned long long>(l2pf_mshrs));
+            return false;
+        }
+        return true;
+    });
+
+    reg.add(name + ".demand_balance", [this](std::string &why) {
+        // Demand lookups classify hit-or-miss in the same event that
+        // counts the access, so this is an equality at any instant.
+        const std::uint64_t resolved =
+            demand_hits_.value() + demand_misses_.value();
+        if (demand_accesses_.value() != resolved) {
+            why = auditFormat(
+                "demand_accesses %llu != demand_hits %llu + "
+                "demand_misses %llu",
+                static_cast<unsigned long long>(demand_accesses_.value()),
+                static_cast<unsigned long long>(demand_hits_.value()),
+                static_cast<unsigned long long>(demand_misses_.value()));
+            return false;
+        }
+        return true;
+    });
+
+    reg.add(name + ".prefetch_pipeline", [this](std::string &why) {
+        // Every generated L2 prefetch resolves as exactly one of
+        // issued / squashed / dropped, or is still in the network.
+        const std::uint64_t resolved = l2pf_issued_.value() +
+                                       l2pf_squashed_.value() +
+                                       l2pf_dropped_.value();
+        const std::uint64_t generated =
+            l2pf_generated_.value() + l2pf_pending_at_reset_;
+        if (resolved + l2pf_in_network_ != generated) {
+            why = auditFormat(
+                "issued %llu + squashed %llu + dropped %llu + "
+                "in-network %llu != generated %llu + %llu pending at "
+                "reset",
+                static_cast<unsigned long long>(l2pf_issued_.value()),
+                static_cast<unsigned long long>(l2pf_squashed_.value()),
+                static_cast<unsigned long long>(l2pf_dropped_.value()),
+                static_cast<unsigned long long>(l2pf_in_network_),
+                static_cast<unsigned long long>(l2pf_generated_.value()),
+                static_cast<unsigned long long>(l2pf_pending_at_reset_));
+            return false;
+        }
+        return true;
+    });
+
+    if (adaptive_ != nullptr) {
+        reg.add(name + ".adaptive_feedback", [this](std::string &why) {
+            // Controller events and L2 counters increment at the same
+            // call sites, so each pair must agree exactly.
+            const std::uint64_t hits =
+                pf_hits_l1_.value() + pf_hits_l2_.value();
+            if (adaptive_->usefulCount() != hits) {
+                why = auditFormat(
+                    "controller saw %llu useful prefetches but the L2 "
+                    "counted %llu prefetch-bit hits",
+                    static_cast<unsigned long long>(
+                        adaptive_->usefulCount()),
+                    static_cast<unsigned long long>(hits));
+                return false;
+            }
+            if (adaptive_->uselessCount() != useless_pf_evicted_.value()) {
+                why = auditFormat(
+                    "controller saw %llu useless prefetches but the L2 "
+                    "evicted %llu unreferenced prefetched lines",
+                    static_cast<unsigned long long>(
+                        adaptive_->uselessCount()),
+                    static_cast<unsigned long long>(
+                        useless_pf_evicted_.value()));
+                return false;
+            }
+            if (adaptive_->harmfulCount() != harmful_miss_flags_.value()) {
+                why = auditFormat(
+                    "controller saw %llu harmful prefetches but the L2 "
+                    "flagged %llu victim-tag misses",
+                    static_cast<unsigned long long>(
+                        adaptive_->harmfulCount()),
+                    static_cast<unsigned long long>(
+                        harmful_miss_flags_.value()));
+                return false;
+            }
+            return true;
+        });
+    }
 }
 
 } // namespace cmpsim

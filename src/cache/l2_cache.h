@@ -52,6 +52,8 @@
 
 namespace cmpsim {
 
+class InvariantRegistry;
+
 /** Static configuration of the shared L2. */
 struct L2Params
 {
@@ -96,6 +98,10 @@ struct L2Params
 
     /** Saturation bound for the predictor. */
     std::int64_t gcp_max = 1 << 20;
+
+    /** Audit builds: verify an FPC and a BDI compress -> decompress
+     *  round-trip of the line's current value on every L2 fill. */
+    bool verify_fill_roundtrip = false;
 };
 
 /** The shared inclusive L2 with its on-chip interconnect. */
@@ -218,6 +224,13 @@ class L2Cache
     void registerStats(StatRegistry &reg, const std::string &prefix);
     void resetStats();
 
+    /**
+     * Register this cache's invariants under "<name>.*": per-set
+     * structural integrity, prefetch-MSHR accounting, demand-stat
+     * balance and the prefetch-pipeline bound.
+     */
+    void registerAudits(InvariantRegistry &reg, const std::string &name);
+
     /** Test hook: direct set inspection. */
     const DecoupledSet &setAt(unsigned index) const { return sets_[index]; }
     unsigned setIndexOf(Addr line) const { return setIndex(line); }
@@ -266,6 +279,9 @@ class L2Cache
 
     /** Fill from memory: insert, evict, respond to waiters. */
     void fill(Addr line, Cycle arrival);
+
+    /** Debug-mode FPC + BDI round-trip of the line being filled. */
+    void verifyFillRoundTrip(Addr line);
 
     /** Handle one evicted L2 line (inclusion + writeback + stats). */
     void handleVictim(const TagEntry &victim, Cycle when);
@@ -326,6 +342,13 @@ class L2Cache
     Counter gcp_benefit_events_;
     Counter gcp_cost_events_;
     std::int64_t gcp_ = 0;
+
+    // Prefetch-pipeline conservation (audit): L2 prefetches counted as
+    // generated but whose lookup event has not run yet. Not a stat —
+    // never reset — so the pipeline audit stays exact across the
+    // warmup/measure stat reset (warmup can leave lookups in flight).
+    std::uint64_t l2pf_in_network_ = 0;
+    std::uint64_t l2pf_pending_at_reset_ = 0;
 };
 
 } // namespace cmpsim

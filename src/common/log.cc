@@ -36,6 +36,23 @@ panicImpl(const char *file, int line, const char *fmt, ...)
 }
 
 void
+assertFailImpl(const char *file, int line, const char *cond,
+               const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: assertion failed: %s", file,
+                 line, cond);
+    if (fmt != nullptr) {
+        std::fprintf(stderr, " — ");
+        std::va_list ap;
+        va_start(ap, fmt);
+        std::vfprintf(stderr, fmt, ap);
+        va_end(ap);
+    }
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
     std::fprintf(stderr, "fatal: %s:%d: ", file, line);

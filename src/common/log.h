@@ -22,6 +22,13 @@ namespace cmpsim {
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/** Failed-assertion reporter: prints the condition text plus an
+ *  optional printf-formatted context message, then aborts. */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond,
+                                 const char *fmt = nullptr, ...)
+    __attribute__((format(printf, 4, 5)));
+
 /** Silence warn()/inform() output (used by tests). */
 void setQuiet(bool quiet);
 
@@ -37,12 +44,17 @@ void setQuiet(bool quiet);
 /**
  * Assert a simulator invariant; active in all build types because
  * simulation bugs silently corrupt results.
+ *
+ * An optional printf-style message adds the offending values to the
+ * report, e.g.
+ *
+ *     cmpsim_assert(when >= now_, "when=%llu now=%llu", when, now_);
  */
 #define cmpsim_assert(cond, ...)                                          \
     do {                                                                  \
         if (!(cond)) {                                                    \
-            ::cmpsim::panicImpl(__FILE__, __LINE__,                       \
-                                "assertion failed: %s", #cond);           \
+            ::cmpsim::assertFailImpl(__FILE__, __LINE__,                  \
+                                     #cond __VA_OPT__(, ) __VA_ARGS__);   \
         }                                                                 \
     } while (0)
 

@@ -1,7 +1,10 @@
 #include "src/core_api/cmp_system.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
+
+#include "src/audit/audits.h"
 
 namespace cmpsim {
 
@@ -19,6 +22,14 @@ CmpSystem::CmpSystem(const SystemConfig &config,
                      const WorkloadParams &workload)
     : config_(config), workload_(workload.scaled(config.scale))
 {
+    // CI's audit leg turns audits on for unmodified binaries:
+    // CMPSIM_AUDIT=<cycles> sets the periodic-audit interval (and the
+    // per-fill round-trip check); CMPSIM_AUDIT=0 forces audits off.
+    if (const char *env = std::getenv("CMPSIM_AUDIT")) {
+        config_.audit_interval =
+            static_cast<Cycle>(std::strtoull(env, nullptr, 10));
+        config_.audit_fill_roundtrip = config_.audit_interval != 0;
+    }
     buildSystem();
 }
 
@@ -121,6 +132,19 @@ CmpSystem::buildSystem()
         }
         l2_adaptive_->registerStats(registry_, "ad.l2");
     }
+
+    // Invariant registration (DESIGN.md §6). Every component hangs its
+    // named checks on the shared registry; run() enforces it
+    // periodically when config_.audit_interval is set.
+    registerEventQueueAudits(audits_, eq_, "eq");
+    l2_->registerAudits(audits_, "l2");
+    registerBandwidthResourceAudits(audits_, l2_->onchip(), "l2.onchip");
+    registerPriorityLinkAudits(audits_, memory_->link(), "mem.link");
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        const std::string idx = std::to_string(c);
+        l1i_[c]->registerAudits(audits_, "l1i." + idx);
+        l1d_[c]->registerAudits(audits_, "l1d." + idx);
+    }
 }
 
 void
@@ -178,6 +202,9 @@ CmpSystem::run(std::uint64_t instr_per_core)
 
     Cycle now = start;
     Cycle next_sample = start + kRatioSampleInterval;
+    const Cycle audit_interval = config_.audit_interval;
+    Cycle next_audit =
+        audit_interval > 0 ? start + audit_interval : kCycleNever;
     std::uint64_t retired = start_retired;
 
     while (retired < target) {
@@ -203,9 +230,15 @@ CmpSystem::run(std::uint64_t instr_per_core)
             ratio_samples_.sample(l2_->compressionRatio());
             next_sample = now + kRatioSampleInterval;
         }
+        if (now >= next_audit) {
+            audits_.enforce();
+            next_audit = now + audit_interval;
+        }
     }
 
     ratio_samples_.sample(l2_->compressionRatio());
+    if (audit_interval > 0)
+        audits_.enforce(); // end-of-simulation audit
     measured_cycles_ = now - start;
     measured_instructions_ = retired - start_retired;
 }

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/audit/invariant_registry.h"
 #include "src/compression/fpc.h"
 #include "src/core_api/system_config.h"
 #include "src/workload/synthetic_workload.h"
@@ -87,6 +88,15 @@ class CmpSystem
     StatRegistry &stats() { return registry_; }
     AdaptivePrefetchController &l2Adaptive() { return *l2_adaptive_; }
 
+    /**
+     * The system-wide invariant registry. Populated at construction;
+     * run() enforces it every config.audit_interval cycles (and once
+     * at end-of-run) when the interval is non-zero. Tests may call
+     * audits().check()/enforce() directly at any point.
+     */
+    InvariantRegistry &audits() { return audits_; }
+    const InvariantRegistry &audits() const { return audits_; }
+
     /** Sum a per-core counter family ("l1d.<cpu>.<leaf>"). */
     std::uint64_t sumL1Counter(const char *side, const char *leaf) const;
 
@@ -114,6 +124,7 @@ class CmpSystem
     std::vector<std::unique_ptr<CoreModel>> cores_;
 
     StatRegistry registry_;
+    InvariantRegistry audits_;
     Average ratio_samples_;
 
     Cycle measured_cycles_ = 0;

@@ -43,6 +43,7 @@ SystemConfig::l2Params() const
     p.decompression_latency = decompression_latency;
     p.adaptive_compression = adaptive_compression;
     p.l1_prefetch_trains_l2 = l1_prefetch_triggers_l2;
+    p.verify_fill_roundtrip = audit_fill_roundtrip;
     return p;
 }
 

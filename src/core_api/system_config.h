@@ -80,6 +80,21 @@ struct SystemConfig
      *  paper text's ambiguous alternative geometry; see DESIGN.md). */
     bool wide_compressed_sets = false;
 
+    // ---- invariant audits (DESIGN.md Section 6) ----
+
+    /**
+     * Run the full invariant audit every this many cycles of timed
+     * simulation (plus once at end-of-run). 0 disables periodic audits
+     * — the Release default; tests and CI audit legs turn it on. The
+     * CMPSIM_AUDIT environment variable overrides this at CmpSystem
+     * construction ("0" disables, any other integer sets the period).
+     */
+    Cycle audit_interval = 0;
+
+    /** Verify an FPC and a BDI compress -> decompress round-trip of
+     *  the line's value on every L2 fill (debug/audit builds). */
+    bool audit_fill_roundtrip = false;
+
     // ---- derived parameter blocks ----
 
     L1Params l1Params() const;

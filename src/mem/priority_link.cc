@@ -20,7 +20,9 @@ PriorityLink::send(unsigned bytes, LinkClass cls, Cycle ready,
     ++transfers_;
 
     if (infinite_) {
-        // No queuing: only the serialization time applies.
+        // No queuing: only the serialization time applies. Bytes count
+        // as delivered immediately — nothing ever occupies the channel.
+        delivered_bytes_ += bytes;
         const Cycle done =
             endOfTransfer(static_cast<double>(ready), bytes);
         queue_delay_.sample(0.0);
@@ -47,6 +49,16 @@ PriorityLink::backlog() const
     std::size_t n = 0;
     for (const auto &q : queues_)
         n += q.size();
+    return n;
+}
+
+std::uint64_t
+PriorityLink::queuedBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues_)
+        for (const Message &m : q)
+            n += m.bytes;
     return n;
 }
 
@@ -106,8 +118,12 @@ PriorityLink::pump()
     cursor_ = start + static_cast<double>(msg.bytes) / rate_;
 
     busy_ = true;
-    eq_.schedule(done, [this, deliver = std::move(msg.deliver), done] {
+    inflight_bytes_ = msg.bytes;
+    eq_.schedule(done, [this, deliver = std::move(msg.deliver), done,
+                        bytes = msg.bytes] {
         busy_ = false;
+        inflight_bytes_ = 0;
+        delivered_bytes_ += bytes;
         if (deliver)
             deliver(done);
         pump();
@@ -136,6 +152,10 @@ PriorityLink::resetStats()
         c.reset();
     transfers_.reset();
     queue_delay_.reset();
+    delivered_bytes_.reset();
+    // Messages still queued or on the channel were requested before the
+    // reset; remember them so byte conservation holds afterwards.
+    pending_at_reset_ = inflight_bytes_ + queuedBytes();
 }
 
 } // namespace cmpsim

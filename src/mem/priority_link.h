@@ -64,6 +64,23 @@ class PriorityLink
         return class_bytes_[static_cast<unsigned>(c)].value();
     }
     std::uint64_t transfers() const { return transfers_.value(); }
+
+    // --- byte-conservation accounting (audit subsystem) ----------
+    // Invariant: totalBytes() + pendingBytesAtReset() ==
+    //            deliveredBytes() + inflightBytes() + queuedBytes().
+
+    /** Bytes whose transfer has completed (last byte landed). */
+    std::uint64_t deliveredBytes() const { return delivered_bytes_.value(); }
+
+    /** Bytes of the transfer currently occupying the channel. */
+    std::uint64_t inflightBytes() const { return inflight_bytes_; }
+
+    /** Bytes sitting in the class queues, not yet transmitting. */
+    std::uint64_t queuedBytes() const;
+
+    /** Bytes that were in flight or queued when stats were last
+     *  reset (so conservation holds across resetStats()). */
+    std::uint64_t pendingBytesAtReset() const { return pending_at_reset_; }
     double meanQueueDelay() const { return queue_delay_.mean(); }
     double rate() const { return rate_; }
     bool infinite() const { return infinite_; }
@@ -107,6 +124,9 @@ class PriorityLink
     Counter total_bytes_;
     std::array<Counter, kLinkClasses> class_bytes_;
     Counter transfers_;
+    Counter delivered_bytes_;
+    std::uint64_t inflight_bytes_ = 0;
+    std::uint64_t pending_at_reset_ = 0;
     Average queue_delay_;
 };
 

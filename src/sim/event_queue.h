@@ -34,7 +34,10 @@ class EventQueue
     void
     schedule(Cycle when, Callback cb)
     {
-        cmpsim_assert(when >= now_);
+        cmpsim_assert(when >= now_,
+                      "schedule into the past: when=%llu now=%llu",
+                      static_cast<unsigned long long>(when),
+                      static_cast<unsigned long long>(now_));
         heap_.push(Event{when, next_seq_++, std::move(cb)});
     }
 
@@ -55,7 +58,10 @@ class EventQueue
     void
     advanceTo(Cycle when)
     {
-        cmpsim_assert(when >= now_);
+        cmpsim_assert(when >= now_,
+                      "advanceTo into the past: when=%llu now=%llu",
+                      static_cast<unsigned long long>(when),
+                      static_cast<unsigned long long>(now_));
         while (!heap_.empty() && heap_.top().when <= when) {
             // Pop before running: the callback may schedule more events.
             Event ev = heap_.top();

@@ -202,6 +202,63 @@ TEST(DecoupledSetTest, ExtraVictimTagsSurviveFullValidSet)
         EXPECT_TRUE(set.victimTagMatch(a << kLineShift));
 }
 
+TEST(DecoupledSetTest, FindTouchReFindReturnsFreshPointer)
+{
+    // The invalidation hazard the lint heuristic guards against:
+    // touch() rotates the entry vector, so a pointer from before the
+    // touch dangles. The supported idiom is find -> touch -> re-find;
+    // the re-found entry must carry the same state at MRU position.
+    DecoupledSet set(8, 32);
+    auto e = makeEntry(0x100, 4);
+    e.dirty = true;
+    set.insert(e);
+    set.insert(makeEntry(0x200, 4));
+    set.insert(makeEntry(0x300, 4));
+
+    TagEntry *before = set.find(0x100);
+    ASSERT_NE(before, nullptr);
+    EXPECT_EQ(set.validStackDepth(0x100), 2);
+
+    set.touch(0x100);
+    TagEntry *after = set.find(0x100);
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->line, 0x100u);
+    EXPECT_TRUE(after->dirty);
+    EXPECT_EQ(after->segments, 4u);
+    EXPECT_EQ(set.validStackDepth(0x100), 0);
+
+    // Mutations through the re-found pointer must land on the entry
+    // find() keeps returning.
+    after->prefetch = true;
+    EXPECT_TRUE(set.find(0x100)->prefetch);
+    EXPECT_EQ(set.usedSegments(), 12u);
+}
+
+TEST(DecoupledSetTest, InvalidateKeepsValidEntriesInMruPrefix)
+{
+    // Invalidating a mid-stack line must not strand valid entries
+    // behind the new victim tag (the audited valid-prefix invariant).
+    DecoupledSet set(8, 32);
+    for (Addr a = 1; a <= 4; ++a)
+        set.insert(makeEntry(a << kLineShift, 4));
+    set.invalidate(2 << kLineShift); // mid-stack
+
+    bool seen_invalid = false;
+    for (const auto &e : set.entries()) {
+        if (!e.valid)
+            seen_invalid = true;
+        else
+            EXPECT_FALSE(seen_invalid)
+                << "valid line behind a victim tag";
+    }
+    // Relative LRU order of survivors is preserved: 4 MRU ... 1 LRU.
+    EXPECT_EQ(set.validStackDepth(4 << kLineShift), 0);
+    EXPECT_EQ(set.validStackDepth(3 << kLineShift), 1);
+    EXPECT_EQ(set.validStackDepth(1 << kLineShift), 2);
+    // The victim tag still matches.
+    EXPECT_TRUE(set.victimTagMatch(2 << kLineShift));
+}
+
 TEST(DecoupledSetTest, ValidStackDepth)
 {
     DecoupledSet set(8, 64);

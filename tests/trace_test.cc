@@ -18,7 +18,13 @@ class TraceTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "cmpsim_trace_test.bin";
+        // Unique per test case: ctest -j runs the discovered cases as
+        // parallel processes, and a shared path makes TearDown in one
+        // process race reads in another.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path_ = ::testing::TempDir() + "cmpsim_trace_test_" +
+                info->name() + ".bin";
     }
 
     void

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bit-reproducibility gate: run the same experiment twice with the
+ * same seed and compare a hash of every registered statistic.
+ *
+ * The simulator's results must be a pure function of (config, seed) —
+ * any dependence on wall-clock time, ASLR'd pointer values (e.g.
+ * hashing a pointer into an event order) or uninitialized memory
+ * shows up here as a hash mismatch long before anyone notices a
+ * figure is unreproducible.
+ *
+ * Covers one commercial and one SPEComp workload by default (the
+ * paper's two workload families exercise different value/sharing
+ * behaviour), each under the full feature set — compression, link
+ * compression, prefetching, adaptive throttling — with periodic
+ * invariant audits and per-fill round-trip verification enabled.
+ *
+ *   determinism_check [workload ...]      # default: zeus apsi
+ *
+ * Exit status 0 when every workload reproduces, 1 otherwise.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core_api/cmp_system.h"
+#include "src/workload/workload_params.h"
+
+namespace {
+
+/** FNV-1a over a byte string: stable, dependency-free fingerprint. */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** One full warmup + measured run; returns the stats fingerprint. */
+std::uint64_t
+runOnce(const std::string &workload)
+{
+    using namespace cmpsim;
+    // Full feature set so every subsystem participates in the hash.
+    SystemConfig cfg = makeConfig(/*cores=*/4, /*scale=*/4,
+                                  /*cache_compression=*/true,
+                                  /*link_compression=*/true,
+                                  /*prefetching=*/true,
+                                  /*adaptive=*/true);
+    cfg.seed = 12345;
+    cfg.audit_interval = 10000;
+    cfg.audit_fill_roundtrip = true;
+
+    CmpSystem sys(cfg, benchmarkParams(workload));
+    sys.warmup(20000);
+    sys.run(10000);
+
+    std::ostringstream out;
+    sys.stats().dump(out);
+    out << "cycles " << sys.cycles() << "\n";
+    out << "instructions " << sys.instructions() << "\n";
+    out << "audit_passes " << sys.audits().passesRun() << "\n";
+    return fnv1a(out.str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workloads;
+    for (int i = 1; i < argc; ++i)
+        workloads.push_back(argv[i]);
+    if (workloads.empty())
+        workloads = {"zeus", "apsi"}; // one commercial, one SPEComp
+
+    int status = 0;
+    for (const std::string &w : workloads) {
+        const std::uint64_t first = runOnce(w);
+        const std::uint64_t second = runOnce(w);
+        if (first == second) {
+            std::printf("determinism_check: %-8s ok    %016llx\n",
+                        w.c_str(),
+                        static_cast<unsigned long long>(first));
+        } else {
+            std::printf("determinism_check: %-8s FAIL  %016llx != "
+                        "%016llx\n",
+                        w.c_str(),
+                        static_cast<unsigned long long>(first),
+                        static_cast<unsigned long long>(second));
+            status = 1;
+        }
+    }
+    return status;
+}

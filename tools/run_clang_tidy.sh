@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: repo-root .clang-tidy) over the simulator
+# sources using the compile database of an existing build tree.
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+# The build tree must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the script configures one for you
+# if the directory does not exist). Exits 0 when clang-tidy is not
+# installed so optional CI legs can call it unconditionally.
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "${TIDY}" ]; then
+    echo "run_clang_tidy: clang-tidy not found; skipping" >&2
+    exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        >/dev/null || exit 1
+fi
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    echo "run_clang_tidy: no compile_commands.json in ${BUILD_DIR}" >&2
+    exit 1
+fi
+
+# run-clang-tidy parallelizes across the database when available.
+RUNNER="$(command -v run-clang-tidy || true)"
+if [ -n "${RUNNER}" ]; then
+    "${RUNNER}" -quiet -p "${BUILD_DIR}" 'src/.*\.cc$'
+    exit $?
+fi
+
+STATUS=0
+for f in $(find src -name '*.cc' | sort); do
+    "${TIDY}" --quiet -p "${BUILD_DIR}" "$f" || STATUS=1
+done
+exit ${STATUS}
