@@ -64,7 +64,10 @@ class EventQueue
                       static_cast<unsigned long long>(now_));
         while (!heap_.empty() && heap_.top().when <= when) {
             // Pop before running: the callback may schedule more events.
-            Event ev = heap_.top();
+            // Move rather than copy: the Event owns a std::function
+            // whose copy allocates. The moved-from element is popped
+            // immediately, so the heap never observes it.
+            Event ev = std::move(const_cast<Event &>(heap_.top()));
             heap_.pop();
             now_ = ev.when;
             ev.cb();
@@ -82,7 +85,7 @@ class EventQueue
     {
         std::uint64_t executed = 0;
         while (!heap_.empty() && heap_.top().when <= limit) {
-            Event ev = heap_.top();
+            Event ev = std::move(const_cast<Event &>(heap_.top()));
             heap_.pop();
             now_ = ev.when;
             ev.cb();
