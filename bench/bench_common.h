@@ -21,6 +21,7 @@
 
 #include "src/core_api/experiment.h"
 #include "src/core_api/miss_classify.h"
+#include "src/core_api/parallel_runner.h"
 
 namespace cmpsim::bench {
 
@@ -190,15 +191,31 @@ paperBandwidthDemand(const std::string &name)
     return 0.0;
 }
 
-/** Run one (cfg, workload) point with the standard lengths/seeds. */
+/** Describe one (cfg, workload) point with the standard lengths/seeds,
+ *  for batch submission to runPoints(). */
+inline PointSpec
+pointSpec(Cfg cfg, const std::string &wl, unsigned cores = 8,
+          double bw = 20.0, bool infinite_bw = false, unsigned seeds = 0)
+{
+    PointSpec spec;
+    spec.config = configFor(cfg, cores, bw);
+    spec.config.infinite_bandwidth = infinite_bw;
+    spec.benchmark = wl;
+    spec.lengths = defaultRunLengths();
+    spec.seeds = seeds == 0 ? defaultSeeds() : seeds;
+    return spec;
+}
+
+/** Run one (cfg, workload) point with the standard lengths/seeds.
+ *  Seeds fan out across CMPSIM_JOBS workers; heavy benches should
+ *  batch their whole matrix through runPoints() instead. */
 inline MetricSummary
 point(Cfg cfg, const std::string &wl, unsigned cores = 8,
       double bw = 20.0, bool infinite_bw = false, unsigned seeds = 0)
 {
-    SystemConfig c = configFor(cfg, cores, bw);
-    c.infinite_bandwidth = infinite_bw;
-    return runSeeds(c, wl, defaultRunLengths(),
-                    seeds == 0 ? defaultSeeds() : seeds);
+    auto res = runPoints({pointSpec(cfg, wl, cores, bw, infinite_bw,
+                                    seeds)});
+    return std::move(res.front());
 }
 
 } // namespace cmpsim::bench

@@ -19,11 +19,23 @@ main()
 
     std::printf("%-8s | %8s %8s %8s | %8s %8s %8s\n", "bench",
                 "pref", "compr", "both", "p-pref", "p-compr", "p-both");
+    // Full matrix submitted up front; see parallel_runner.h.
+    const Cfg cfgs[] = {Cfg::Base, Cfg::Pref, Cfg::Compr,
+                        Cfg::ComprPref};
+    constexpr std::size_t kCfgs = sizeof(cfgs) / sizeof(cfgs[0]);
+    std::vector<PointSpec> specs;
+    for (const auto &wl : benchmarkNames())
+        for (const Cfg c : cfgs)
+            specs.push_back(pointSpec(c, wl));
+    const auto results = runPoints(specs);
+
+    std::size_t row = 0;
     for (const auto &wl : benchmarkNames()) {
-        const double base = meanCycles(point(Cfg::Base, wl));
-        const double pref = meanCycles(point(Cfg::Pref, wl));
-        const double compr = meanCycles(point(Cfg::Compr, wl));
-        const double both = meanCycles(point(Cfg::ComprPref, wl));
+        const double base = meanCycles(results[row * kCfgs]);
+        const double pref = meanCycles(results[row * kCfgs + 1]);
+        const double compr = meanCycles(results[row * kCfgs + 2]);
+        const double both = meanCycles(results[row * kCfgs + 3]);
+        ++row;
         const auto &p = paperRow(wl);
         std::printf("%-8s | %+7.1f%% %+7.1f%% %+7.1f%% | %+7.1f%% "
                     "%+7.1f%% %+7.1f%%\n",

@@ -21,19 +21,32 @@ main()
            "near zero at 40-80 GB/s");
 
     const double bws[] = {10.0, 20.0, 40.0, 80.0};
+    constexpr std::size_t kBws = sizeof(bws) / sizeof(bws[0]);
+    const Cfg cfgs[] = {Cfg::Base, Cfg::Pref, Cfg::Compr,
+                        Cfg::ComprPref};
+    constexpr std::size_t kCfgs = sizeof(cfgs) / sizeof(cfgs[0]);
     std::printf("%-8s %10s %10s %10s %10s\n", "bench", "10GB/s",
                 "20GB/s", "40GB/s", "80GB/s");
+
+    // Full (workload x bandwidth x config) matrix up front; see
+    // parallel_runner.h.
+    std::vector<PointSpec> specs;
+    for (const auto &wl : benchmarkNames())
+        for (const double bw : bws)
+            for (const Cfg c : cfgs)
+                specs.push_back(pointSpec(c, wl, 8, bw, false, 1));
+    const auto results = runPoints(specs);
+
+    std::size_t cell = 0;
     for (const auto &wl : benchmarkNames()) {
         std::printf("%-8s", wl.c_str());
-        for (const double bw : bws) {
-            const double base =
-                meanCycles(point(Cfg::Base, wl, 8, bw, false, 1));
-            const double pref =
-                meanCycles(point(Cfg::Pref, wl, 8, bw, false, 1));
-            const double compr =
-                meanCycles(point(Cfg::Compr, wl, 8, bw, false, 1));
-            const double both =
-                meanCycles(point(Cfg::ComprPref, wl, 8, bw, false, 1));
+        for (std::size_t b = 0; b < kBws; ++b) {
+            const std::size_t at = cell * kCfgs;
+            const double base = meanCycles(results[at]);
+            const double pref = meanCycles(results[at + 1]);
+            const double compr = meanCycles(results[at + 2]);
+            const double both = meanCycles(results[at + 3]);
+            ++cell;
             const double inter = interaction(speedup(base, pref),
                                              speedup(base, compr),
                                              speedup(base, both)) *

@@ -24,22 +24,35 @@ main()
            "the combination stays strong");
 
     const unsigned core_counts[] = {1, 2, 4, 8, 16};
-    for (const auto &wl : {std::string("apache"), std::string("jbb")}) {
+    const std::vector<std::string> wls = {"apache", "jbb"};
+    const Cfg cfgs[] = {Cfg::Base,      Cfg::Pref,      Cfg::Adaptive,
+                        Cfg::Compr,     Cfg::ComprPref, Cfg::ComprAdapt};
+    constexpr std::size_t kCfgs = sizeof(cfgs) / sizeof(cfgs[0]);
+
+    // Full (workload x cores x config) matrix up front; see
+    // parallel_runner.h.
+    std::vector<PointSpec> specs;
+    for (const auto &wl : wls)
+        for (const unsigned n : core_counts)
+            for (const Cfg c : cfgs)
+                specs.push_back(pointSpec(c, wl, n, 20.0, false, 1));
+    const auto results = runPoints(specs);
+
+    std::size_t cell = 0;
+    for (const auto &wl : wls) {
         std::printf("--- %s ---\n", wl.c_str());
         std::printf("%6s %8s %8s %8s %10s %12s\n", "cores", "pref",
                     "adapt", "compr", "compr+pref", "compr+adapt");
         for (const unsigned n : core_counts) {
-            const double base =
-                meanCycles(point(Cfg::Base, wl, n, 20.0, false, 1));
-            auto imp = [&](Cfg c) {
-                return pct(base,
-                           meanCycles(point(c, wl, n, 20.0, false, 1)));
+            const std::size_t at = cell * kCfgs;
+            const double base = meanCycles(results[at]);
+            auto imp = [&](std::size_t cfg_idx) {
+                return pct(base, meanCycles(results[at + cfg_idx]));
             };
+            ++cell;
             std::printf("%6u %+7.1f%% %+7.1f%% %+7.1f%% %+9.1f%% "
                         "%+11.1f%%\n",
-                        n, imp(Cfg::Pref), imp(Cfg::Adaptive),
-                        imp(Cfg::Compr), imp(Cfg::ComprPref),
-                        imp(Cfg::ComprAdapt));
+                        n, imp(1), imp(2), imp(3), imp(4), imp(5));
         }
     }
     return 0;

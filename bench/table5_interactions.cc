@@ -26,13 +26,27 @@ main()
     std::printf("%-8s | %8s %8s %8s %8s %8s | %28s\n", "bench", "pref",
                 "compr", "both", "ad+cmp", "interact",
                 "paper p/c/both/inter");
+    // Batch the full (workload x config) matrix up front; runPoints
+    // fans it across CMPSIM_JOBS workers with slot-ordered results,
+    // so the table below is byte-identical at any job count.
+    const Cfg cfgs[] = {Cfg::Base, Cfg::Pref, Cfg::Compr,
+                        Cfg::ComprPref, Cfg::ComprAdapt};
+    constexpr std::size_t kCfgs = sizeof(cfgs) / sizeof(cfgs[0]);
+    std::vector<PointSpec> specs;
+    for (const auto &wl : benchmarkNames())
+        for (const Cfg c : cfgs)
+            specs.push_back(pointSpec(c, wl));
+    const auto results = runPoints(specs);
+
+    std::size_t row = 0;
     for (const auto &wl : benchmarkNames()) {
-        const auto base_s = point(Cfg::Base, wl);
+        const auto &base_s = results[row * kCfgs];
         const double base = meanCycles(base_s);
-        const double pref = meanCycles(point(Cfg::Pref, wl));
-        const double compr = meanCycles(point(Cfg::Compr, wl));
-        const double both = meanCycles(point(Cfg::ComprPref, wl));
-        const double cadap = meanCycles(point(Cfg::ComprAdapt, wl));
+        const double pref = meanCycles(results[row * kCfgs + 1]);
+        const double compr = meanCycles(results[row * kCfgs + 2]);
+        const double both = meanCycles(results[row * kCfgs + 3]);
+        const double cadap = meanCycles(results[row * kCfgs + 4]);
+        ++row;
         const double sp = speedup(base, pref);
         const double sc = speedup(base, compr);
         const double sb = speedup(base, both);

@@ -1,12 +1,98 @@
 #!/bin/bash
 # Runs every bench binary, teeing combined output to bench_output.txt.
-cd "$(dirname "$0")"
+#
+#   ./run_benches.sh [-j N] [output.txt]
+#
+# -j N runs up to N bench binaries concurrently (default 1). Each
+# binary writes to its own temp file; sections are concatenated in
+# name order afterwards, so the combined output is identical at any
+# -j. A machine-readable BENCH_results.json (bench name, wall-clock
+# seconds, exit status) lands next to the text output so later runs
+# have a perf trajectory to compare against.
+#
+# The binaries themselves also parallelize internally across
+# CMPSIM_JOBS simulation workers; with -j > 1 you may want to set
+# CMPSIM_JOBS to a smaller value to avoid oversubscription.
+cd "$(dirname "$0")" || exit 1
+
+jobs=1
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N] [output.txt]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+case "$jobs" in
+  ''|*[!0-9]*) echo "run_benches.sh: bad -j value: $jobs" >&2; exit 2 ;;
+esac
+[ "$jobs" -ge 1 ] || jobs=1
+
 out=${1:-bench_output.txt}
-: > "$out"
+json=$(dirname "$out")/BENCH_results.json
+tmpdir=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Launch one bench binary, recording output, wall seconds and status.
+run_one() {
+  local bin=$1 name
+  name=$(basename "$bin")
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$bin" > "$tmpdir/$name.out" 2>&1
+  echo $? > "$tmpdir/$name.status"
+  t1=$(date +%s.%N)
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }' \
+    > "$tmpdir/$name.secs"
+}
+
+benches=()
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "##### $b #####" | tee -a "$out"
-  "$b" 2>&1 | tee -a "$out"
-  echo | tee -a "$out"
+  benches+=("$b")
 done
+
+running=0
+for b in "${benches[@]}"; do
+  if [ "$running" -ge "$jobs" ]; then
+    wait -n
+    running=$((running - 1))
+  fi
+  run_one "$b" &
+  running=$((running + 1))
+done
+wait
+
+# Concatenate sections in launch (name) order: byte-identical to a
+# serial run apart from the timings in the JSON.
+: > "$out"
+overall=0
+for b in "${benches[@]}"; do
+  name=$(basename "$b")
+  echo "##### $b #####" | tee -a "$out"
+  tee -a "$out" < "$tmpdir/$name.out"
+  echo | tee -a "$out"
+  status=$(cat "$tmpdir/$name.status")
+  [ "$status" -eq 0 ] || overall=1
+done
+
+{
+  echo "{"
+  echo "  \"jobs\": $jobs,"
+  echo "  \"benches\": ["
+  sep=""
+  for b in "${benches[@]}"; do
+    name=$(basename "$b")
+    printf '%s    { "name": "%s", "wall_seconds": %s, "exit_status": %s }' \
+      "$sep" "$name" "$(cat "$tmpdir/$name.secs")" \
+      "$(cat "$tmpdir/$name.status")"
+    sep=",
+"
+  done
+  echo
+  echo "  ]"
+  echo "}"
+} > "$json"
+
 echo "ALL_BENCHES_DONE" | tee -a "$out"
+exit $overall

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Stable, dependency-free fingerprinting for reproducibility gates.
+ *
+ * FNV-1a over a byte string: used by tools/determinism_check and the
+ * parallel-runner determinism tests to compare runs by hash instead
+ * of diffing full stat dumps. Not cryptographic — collisions are
+ * astronomically unlikely for the handful of comparisons made here,
+ * and a stable 64-bit value prints compactly in failure messages.
+ */
+
+#ifndef CMPSIM_COMMON_FINGERPRINT_H
+#define CMPSIM_COMMON_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+
+namespace cmpsim {
+
+/** FNV-1a over @p bytes. */
+inline std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace cmpsim
+
+#endif // CMPSIM_COMMON_FINGERPRINT_H

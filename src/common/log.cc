@@ -1,12 +1,15 @@
 #include "src/common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace cmpsim {
 
 namespace {
-bool quiet_mode = false;
+// Atomic: warn()/inform() may fire from parallel experiment workers
+// (src/core_api/parallel_runner.cc) while a test toggles quiet mode.
+std::atomic<bool> quiet_mode{false};
 
 void
 vreport(const char *tag, const char *fmt, std::va_list ap)

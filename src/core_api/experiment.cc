@@ -2,22 +2,27 @@
 
 #include <cstdlib>
 
+#include "src/core_api/parallel_runner.h"
+
 namespace cmpsim {
 
-namespace {
-
 std::uint64_t
-envOr(const char *name, std::uint64_t fallback)
+envUint64Or(const char *name, std::uint64_t fallback)
 {
     const char *v = std::getenv(name);
     if (v == nullptr || *v == '\0')
         return fallback;
     char *end = nullptr;
     const auto parsed = std::strtoull(v, &end, 10);
-    if (end == v || parsed == 0)
+    // Reject only genuine parse failures (no digits, trailing junk):
+    // an explicit 0 is a legitimate value (CMPSIM_JOBS=0 means "auto",
+    // CMPSIM_WARMUP=0 means "no warmup").
+    if (end == v || *end != '\0')
         cmpsim_fatal("bad value for %s: %s", name, v);
     return parsed;
 }
+
+namespace {
 
 RunResult::PfMetrics
 pfMetrics(double issued, double hits, double demand_misses,
@@ -36,22 +41,22 @@ pfMetrics(double issued, double hits, double demand_misses,
 unsigned
 defaultScale()
 {
-    return static_cast<unsigned>(envOr("CMPSIM_SCALE", 4));
+    return static_cast<unsigned>(envUint64Or("CMPSIM_SCALE", 4));
 }
 
 RunLengths
 defaultRunLengths()
 {
     RunLengths l;
-    l.warmup_per_core = envOr("CMPSIM_WARMUP", 400000);
-    l.measure_per_core = envOr("CMPSIM_MEASURE", 50000);
+    l.warmup_per_core = envUint64Or("CMPSIM_WARMUP", 400000);
+    l.measure_per_core = envUint64Or("CMPSIM_MEASURE", 50000);
     return l;
 }
 
 unsigned
 defaultSeeds()
 {
-    return static_cast<unsigned>(envOr("CMPSIM_SEEDS", 2));
+    return static_cast<unsigned>(envUint64Or("CMPSIM_SEEDS", 2));
 }
 
 RunResult
@@ -125,15 +130,15 @@ runSeeds(SystemConfig config, const std::string &benchmark,
          const RunLengths &lengths, unsigned seeds)
 {
     cmpsim_assert(seeds >= 1);
-    MetricSummary summary;
-    std::vector<double> cycle_samples;
-    for (unsigned s = 0; s < seeds; ++s) {
-        config.seed = s + 1;
-        summary.runs.push_back(runOnce(config, benchmark, lengths));
-        cycle_samples.push_back(summary.runs.back().cycles);
-    }
-    summary.cycles = summarize(cycle_samples);
-    return summary;
+    // One point, fanned over seeds by the parallel runner; seed s
+    // lands in runs[s] regardless of worker count, so the result is
+    // bit-identical to the old serial loop.
+    PointSpec spec;
+    spec.config = config;
+    spec.benchmark = benchmark;
+    spec.lengths = lengths;
+    spec.seeds = seeds;
+    return std::move(runPoints({std::move(spec)}).front());
 }
 
 double

@@ -67,10 +67,19 @@ struct RunLengths
  *   CMPSIM_WARMUP  functional warmup instructions per core
  *   CMPSIM_MEASURE timed instructions per core
  *   CMPSIM_SEEDS   seeds per experiment point (default 2)
+ *   CMPSIM_JOBS    experiment worker threads (0/unset = hardware)
  */
 unsigned defaultScale();
 RunLengths defaultRunLengths();
 unsigned defaultSeeds();
+
+/**
+ * Parse environment variable @p name as an unsigned integer,
+ * returning @p fallback when unset or empty. An explicit 0 is a
+ * valid value (e.g. CMPSIM_WARMUP=0, CMPSIM_JOBS=0 = auto); only a
+ * string with no digits or trailing garbage is fatal.
+ */
+std::uint64_t envUint64Or(const char *name, std::uint64_t fallback);
 
 /** Build a system, warm it up, run it, and extract metrics. */
 RunResult runOnce(const SystemConfig &config,

@@ -1,0 +1,114 @@
+#include "src/core_api/parallel_runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "src/sim/thread_pool.h"
+
+namespace cmpsim {
+
+unsigned
+defaultJobs()
+{
+    const auto jobs = envUint64Or("CMPSIM_JOBS", 0);
+    if (jobs != 0)
+        return static_cast<unsigned>(jobs);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::vector<MetricSummary>
+runPoints(const std::vector<PointSpec> &points, unsigned jobs)
+{
+    std::vector<MetricSummary> results(points.size());
+    std::size_t tasks = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        cmpsim_assert(points[i].seeds >= 1);
+        results[i].runs.resize(points[i].seeds);
+        tasks += points[i].seeds;
+    }
+    if (tasks == 0)
+        return results;
+
+    if (jobs == 0)
+        jobs = defaultJobs();
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, tasks));
+
+    {
+        // Scope the pool so its destructor joins the workers even if
+        // wait() rethrows a task exception.
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            for (unsigned s = 0; s < points[i].seeds; ++s) {
+                // Slot writes are race-free: (i, s) is unique per task
+                // and the result vectors are pre-sized above.
+                pool.submit([&points, &results, i, s] {
+                    SystemConfig config = points[i].config;
+                    config.seed = s + 1;
+                    results[i].runs[s] = runOnce(
+                        config, points[i].benchmark, points[i].lengths);
+                });
+            }
+        }
+        pool.wait();
+    }
+
+    // Seed aggregation happens serially, in slot order, so the
+    // summary statistics are bit-identical to the serial loop's.
+    for (auto &summary : results) {
+        std::vector<double> cycle_samples;
+        cycle_samples.reserve(summary.runs.size());
+        for (const auto &r : summary.runs)
+            cycle_samples.push_back(r.cycles);
+        summary.cycles = summarize(cycle_samples);
+    }
+    return results;
+}
+
+namespace {
+
+void
+appendHex(std::string &out, const char *name, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%a\n", name, v);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+summaryBytes(const MetricSummary &summary)
+{
+    std::string out;
+    appendHex(out, "cycles.mean", summary.cycles.mean);
+    appendHex(out, "cycles.ci95", summary.cycles.ci95);
+    out += "n=" + std::to_string(summary.cycles.n) + "\n";
+    for (const auto &r : summary.runs) {
+        appendHex(out, "cycles", r.cycles);
+        appendHex(out, "instructions", r.instructions);
+        appendHex(out, "ipc", r.ipc);
+        appendHex(out, "l2_demand_misses", r.l2_demand_misses);
+        appendHex(out, "l2_demand_accesses", r.l2_demand_accesses);
+        appendHex(out, "l2_miss_rate", r.l2_miss_rate);
+        appendHex(out, "l2_mpki", r.l2_misses_per_kilo_instr);
+        appendHex(out, "bandwidth_gbps", r.bandwidth_gbps);
+        appendHex(out, "compression_ratio", r.compression_ratio);
+        appendHex(out, "penalized_hits", r.penalized_hits);
+        for (const auto *pf : {&r.l1i, &r.l1d, &r.l2pf}) {
+            appendHex(out, "pf.rate", pf->rate_per_kilo_instr);
+            appendHex(out, "pf.coverage", pf->coverage_pct);
+            appendHex(out, "pf.accuracy", pf->accuracy_pct);
+        }
+        appendHex(out, "adaptive_counter", r.l2_adaptive_counter);
+        appendHex(out, "useful", r.useful_prefetches);
+        appendHex(out, "useless", r.useless_prefetches);
+        appendHex(out, "harmful", r.harmful_flags);
+        appendHex(out, "victim_tags", r.victim_tags_per_set);
+    }
+    return out;
+}
+
+} // namespace cmpsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parallel experiment execution: fan a batch of independent
+ * (config, workload, seed) simulation points across a worker pool.
+ *
+ * Every point is a pure function of (SystemConfig, workload name,
+ * RunLengths, seed) — each run owns its CmpSystem, EventQueue and
+ * Random — so runs can execute on any thread in any order. Results
+ * are written into pre-sized slots indexed by submission order, which
+ * makes the output vector (and therefore every table printed from
+ * it) byte-identical regardless of the worker count.
+ *
+ * Worker count: CMPSIM_JOBS (0 or unset = hardware_concurrency), or
+ * an explicit jobs argument.
+ */
+
+#ifndef CMPSIM_CORE_API_PARALLEL_RUNNER_H
+#define CMPSIM_CORE_API_PARALLEL_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "src/core_api/experiment.h"
+
+namespace cmpsim {
+
+/** One experiment point: a config/workload pair run over N seeds. */
+struct PointSpec
+{
+    SystemConfig config;
+    std::string benchmark;
+    RunLengths lengths;
+    unsigned seeds = 1;
+};
+
+/**
+ * Worker count policy: CMPSIM_JOBS if set and non-zero, else
+ * std::thread::hardware_concurrency() (at least 1). CMPSIM_JOBS=0
+ * explicitly requests the hardware default.
+ */
+unsigned defaultJobs();
+
+/**
+ * Run every (point, seed) task across @p jobs workers (0 = use
+ * defaultJobs()). Returns one MetricSummary per input point, in
+ * input order; runs[s] within each summary is seed s+1, exactly as
+ * the serial runSeeds loop produced. Deterministic: the result is a
+ * pure function of @p points, independent of jobs.
+ */
+std::vector<MetricSummary> runPoints(const std::vector<PointSpec> &points,
+                                     unsigned jobs = 0);
+
+/**
+ * Byte-exact serialization of a summary's every metric (hexfloat, so
+ * no rounding ambiguity), for fingerprint comparison in determinism
+ * gates. Feed to fnv1a() from src/common/fingerprint.h.
+ */
+std::string summaryBytes(const MetricSummary &summary);
+
+} // namespace cmpsim
+
+#endif // CMPSIM_CORE_API_PARALLEL_RUNNER_H

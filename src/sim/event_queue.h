@@ -6,6 +6,23 @@
  * continuations on one shared EventQueue; the Simulator interleaves
  * event execution with core-model ticks. Events at the same cycle run
  * in scheduling order (stable), which keeps runs bit-reproducible.
+ *
+ * Implementation notes (hot path — this queue executes every timed
+ * cache/link/memory transaction in the simulator):
+ *
+ *  - The pending set is an intrusive binary min-heap over a
+ *    std::vector<Event>, ordered by (when, seq). Unlike
+ *    std::priority_queue, popping *moves* the Event (and its
+ *    heap-allocated std::function) out of the root, and the sift-down
+ *    uses moves throughout — no callback is ever copied.
+ *
+ *  - Same-cycle fast path: while an event at cycle T executes,
+ *    continuations it schedules back at cycle T are appended to a
+ *    plain FIFO and run without touching the heap at all. This is
+ *    order-exact: once now() has reached T every event already in the
+ *    heap at T carries a smaller seq than any newly scheduled one, so
+ *    "drain heap entries at T, then the FIFO in append order" is
+ *    precisely the global (when, seq) order.
  */
 
 #ifndef CMPSIM_SIM_EVENT_QUEUE_H
@@ -13,7 +30,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/common/log.h"
@@ -38,17 +55,35 @@ class EventQueue
                       "schedule into the past: when=%llu now=%llu",
                       static_cast<unsigned long long>(when),
                       static_cast<unsigned long long>(now_));
-        heap_.push(Event{when, next_seq_++, std::move(cb)});
+        if (when == now_) {
+            // Same-cycle continuation: newest seq by construction, so
+            // FIFO append order is (when, seq) order.
+            same_cycle_.push_back(Event{when, next_seq_++, std::move(cb)});
+            return;
+        }
+        heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+        siftUp(heap_.size() - 1);
     }
 
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
+    bool
+    empty() const
+    {
+        return heap_.empty() && same_head_ == same_cycle_.size();
+    }
+
+    std::size_t
+    size() const
+    {
+        return heap_.size() + (same_cycle_.size() - same_head_);
+    }
 
     /** Cycle of the earliest pending event (kCycleNever if none). */
     Cycle
     nextEventCycle() const
     {
-        return heap_.empty() ? kCycleNever : heap_.top().when;
+        if (same_head_ < same_cycle_.size())
+            return now_;
+        return heap_.empty() ? kCycleNever : heap_.front().when;
     }
 
     /**
@@ -62,16 +97,7 @@ class EventQueue
                       "advanceTo into the past: when=%llu now=%llu",
                       static_cast<unsigned long long>(when),
                       static_cast<unsigned long long>(now_));
-        while (!heap_.empty() && heap_.top().when <= when) {
-            // Pop before running: the callback may schedule more events.
-            // Move rather than copy: the Event owns a std::function
-            // whose copy allocates. The moved-from element is popped
-            // immediately, so the heap never observes it.
-            Event ev = std::move(const_cast<Event &>(heap_.top()));
-            heap_.pop();
-            now_ = ev.when;
-            ev.cb();
-        }
+        runDue(when);
         now_ = when;
     }
 
@@ -83,15 +109,7 @@ class EventQueue
     std::uint64_t
     drain(Cycle limit = kCycleNever)
     {
-        std::uint64_t executed = 0;
-        while (!heap_.empty() && heap_.top().when <= limit) {
-            Event ev = std::move(const_cast<Event &>(heap_.top()));
-            heap_.pop();
-            now_ = ev.when;
-            ev.cb();
-            ++executed;
-        }
-        return executed;
+        return runDue(limit);
     }
 
   private:
@@ -102,13 +120,103 @@ class EventQueue
         Callback cb;
 
         bool
-        operator>(const Event &o) const
+        before(const Event &o) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return when != o.when ? when < o.when : seq < o.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    /**
+     * Run every due event: heap entries with when <= @p limit plus
+     * all same-cycle continuations they spawn. On return the FIFO is
+     * empty and the heap's earliest entry (if any) is past limit.
+     */
+    std::uint64_t
+    runDue(Cycle limit)
+    {
+        std::uint64_t executed = 0;
+        // Events at the current cycle (heap leftovers and the FIFO)
+        // are due only if now_ itself is within the limit — drain()
+        // may be called with a limit in the past and must be a no-op
+        // then, exactly like the when <= limit heap condition.
+        while (true) {
+            const bool now_due = now_ <= limit;
+            if (now_due && !heap_.empty() && heap_.front().when <= now_) {
+                // Pending heap entry at the current cycle: scheduled
+                // before now() reached it, so older than anything in
+                // the FIFO — must run first.
+                Event ev = popHeap();
+                ev.cb();
+            } else if (now_due && same_head_ < same_cycle_.size()) {
+                Event ev = std::move(same_cycle_[same_head_++]);
+                if (same_head_ == same_cycle_.size()) {
+                    same_cycle_.clear();
+                    same_head_ = 0;
+                }
+                ev.cb();
+            } else if (!heap_.empty() && heap_.front().when <= limit) {
+                Event ev = popHeap();
+                now_ = ev.when;
+                ev.cb();
+            } else {
+                break;
+            }
+            ++executed;
+        }
+        return executed;
+    }
+
+    /** Move the root out and restore the heap property with moves. */
+    Event
+    popHeap()
+    {
+        Event top = std::move(heap_.front());
+        if (heap_.size() > 1) {
+            heap_.front() = std::move(heap_.back());
+            heap_.pop_back();
+            siftDown(0);
+        } else {
+            heap_.pop_back();
+        }
+        return top;
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        Event ev = std::move(heap_[i]);
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!ev.before(heap_[parent]))
+                break;
+            heap_[i] = std::move(heap_[parent]);
+            i = parent;
+        }
+        heap_[i] = std::move(ev);
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = heap_.size();
+        Event ev = std::move(heap_[i]);
+        while (true) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && heap_[child + 1].before(heap_[child]))
+                ++child;
+            if (!heap_[child].before(ev))
+                break;
+            heap_[i] = std::move(heap_[child]);
+            i = child;
+        }
+        heap_[i] = std::move(ev);
+    }
+
+    std::vector<Event> heap_;       ///< binary min-heap by (when, seq)
+    std::vector<Event> same_cycle_; ///< FIFO of events at now()
+    std::size_t same_head_ = 0;     ///< first unconsumed FIFO slot
     Cycle now_ = 0;
     std::uint64_t next_seq_ = 0;
 };

@@ -1,0 +1,79 @@
+#include "src/sim/thread_pool.h"
+
+#include <utility>
+
+namespace cmpsim {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads == 0 ? 1 : threads;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    work_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (--in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+} // namespace cmpsim

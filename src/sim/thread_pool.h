@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size worker pool for fanning out independent simulations.
+ *
+ * The simulator itself is strictly single-threaded per CmpSystem (one
+ * EventQueue, explicitly threaded Random); parallelism lives entirely
+ * at the experiment layer, where every (config, workload, seed) point
+ * is an independent pure function. A plain FIFO queue is therefore
+ * enough — tasks are seconds-long simulations, so queue contention is
+ * irrelevant and work stealing would buy nothing.
+ */
+
+#ifndef CMPSIM_SIM_THREAD_POOL_H
+#define CMPSIM_SIM_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cmpsim {
+
+/**
+ * Fixed worker pool with FIFO dispatch.
+ *
+ * submit() enqueues a task; wait() blocks until every submitted task
+ * has finished and rethrows the first task exception, if any (later
+ * exceptions are swallowed; the batch is already poisoned). The
+ * destructor drains outstanding work and joins the workers.
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads worker count; 0 is clamped to 1. */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task. Must not be called concurrently with wait(). */
+    void submit(Task task);
+
+    /** Block until all submitted tasks finished; rethrow the first
+     *  exception any task raised since the last wait(). */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable all_done_;
+    std::deque<Task> queue_;
+    std::size_t in_flight_ = 0; ///< queued + currently executing
+    std::exception_ptr first_error_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_SIM_THREAD_POOL_H

@@ -97,5 +97,69 @@ TEST(EventQueueTest, ZeroDelayEventAtCurrentCycleRuns)
     EXPECT_TRUE(ran);
 }
 
+TEST(EventQueueTest, SameCycleContinuationsRunAfterOlderPeers)
+{
+    // Events already pending at cycle T must run before continuations
+    // scheduled back at T while T executes — strict (when, seq) order.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] {
+        order.push_back(0);
+        eq.schedule(5, [&] { order.push_back(2); });
+        eq.schedule(5, [&] { order.push_back(3); });
+    });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(6, [&] { order.push_back(4); });
+    eq.drain();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NestedSameCycleCascadeRunsToCompletion)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            eq.schedule(eq.now(), chain);
+    };
+    eq.schedule(3, chain);
+    EXPECT_EQ(eq.drain(), 10u);
+    EXPECT_EQ(depth, 10);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueTest, SizeAndNextCycleSeeSameCyclePendings)
+{
+    EventQueue eq;
+    eq.advanceTo(4);
+    eq.schedule(4, [] {});
+    eq.schedule(9, [] {});
+    EXPECT_EQ(eq.size(), 2u);
+    EXPECT_FALSE(eq.empty());
+    EXPECT_EQ(eq.nextEventCycle(), 4u);
+    eq.advanceTo(4);
+    EXPECT_EQ(eq.size(), 1u);
+    EXPECT_EQ(eq.nextEventCycle(), 9u);
+}
+
+TEST(EventQueueTest, InterleavedCyclesKeepScheduleOrder)
+{
+    // Stress the intrusive heap: many events at duplicated cycles
+    // must still pop in exact (when, seq) order.
+    EventQueue eq;
+    std::vector<std::pair<Cycle, int>> order;
+    int n = 0;
+    for (Cycle when : {30u, 10u, 20u, 10u, 30u, 20u, 10u, 40u, 10u}) {
+        const int id = n++;
+        eq.schedule(when, [&, when, id] { order.emplace_back(when, id); });
+    }
+    eq.drain();
+    const std::vector<std::pair<Cycle, int>> expect = {
+        {10, 1}, {10, 3}, {10, 6}, {10, 8}, {20, 2},
+        {20, 5}, {30, 0}, {30, 4}, {40, 7},
+    };
+    EXPECT_EQ(order, expect);
+}
+
 } // namespace
 } // namespace cmpsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Environment parsing for the experiment layer, in particular that an
+ * explicit 0 is a legitimate value (CMPSIM_JOBS=0 = auto worker
+ * count, CMPSIM_WARMUP=0 = no warmup) and only genuine parse errors
+ * are fatal.
+ */
+
+#include "src/core_api/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/core_api/parallel_runner.h"
+
+namespace cmpsim {
+namespace {
+
+class EnvUint64OrTest : public ::testing::Test
+{
+  protected:
+    static constexpr const char *kVar = "CMPSIM_TEST_ENV_VALUE";
+
+    void SetUp() override { ::unsetenv(kVar); }
+    void TearDown() override { ::unsetenv(kVar); }
+};
+
+TEST_F(EnvUint64OrTest, UnsetReturnsFallback)
+{
+    EXPECT_EQ(envUint64Or(kVar, 7), 7u);
+}
+
+TEST_F(EnvUint64OrTest, EmptyReturnsFallback)
+{
+    ::setenv(kVar, "", 1);
+    EXPECT_EQ(envUint64Or(kVar, 7), 7u);
+}
+
+TEST_F(EnvUint64OrTest, ParsesValue)
+{
+    ::setenv(kVar, "400000", 1);
+    EXPECT_EQ(envUint64Or(kVar, 7), 400000u);
+}
+
+TEST_F(EnvUint64OrTest, ExplicitZeroIsAValueNotAnError)
+{
+    ::setenv(kVar, "0", 1);
+    EXPECT_EQ(envUint64Or(kVar, 7), 0u);
+}
+
+TEST_F(EnvUint64OrTest, NonNumericIsFatal)
+{
+    ::setenv(kVar, "fast", 1);
+    EXPECT_EXIT(envUint64Or(kVar, 7), ::testing::ExitedWithCode(1),
+                "bad value");
+}
+
+TEST_F(EnvUint64OrTest, TrailingGarbageIsFatal)
+{
+    ::setenv(kVar, "8threads", 1);
+    EXPECT_EXIT(envUint64Or(kVar, 7), ::testing::ExitedWithCode(1),
+                "bad value");
+}
+
+TEST(DefaultJobsTest, ZeroMeansHardwareAuto)
+{
+    ::setenv("CMPSIM_JOBS", "0", 1);
+    EXPECT_GE(defaultJobs(), 1u);
+    ::setenv("CMPSIM_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobs(), 3u);
+    ::unsetenv("CMPSIM_JOBS");
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+} // namespace
+} // namespace cmpsim

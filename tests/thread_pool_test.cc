@@ -1,0 +1,97 @@
+#include "src/sim/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cmpsim {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns)
+{
+    ThreadPool pool(2);
+    pool.wait();
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads)
+{
+    ThreadPool pool(2);
+    std::mutex m;
+    std::set<std::thread::id> ids;
+    const auto self = std::this_thread::get_id();
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&] {
+            std::lock_guard<std::mutex> lock(m);
+            ids.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait();
+    EXPECT_GE(ids.size(), 1u);
+    EXPECT_LE(ids.size(), 2u);
+    EXPECT_EQ(ids.count(self), 0u);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesFromWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&ran] { ++ran; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The batch still drained: an exception poisons wait(), not the
+    // remaining tasks.
+    EXPECT_EQ(ran.load(), 10);
+    // The error is consumed; a fresh batch is clean.
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithPendingTasksDrained)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+    }
+    EXPECT_EQ(count.load(), 20);
+}
+
+} // namespace
+} // namespace cmpsim

@@ -15,6 +15,11 @@
  * compression, prefetching, adaptive throttling — with periodic
  * invariant audits and per-fill round-trip verification enabled.
  *
+ * A second leg checks the parallel experiment runner: the same
+ * workloads batched through runPoints() with 1 worker and again with
+ * 4 must produce byte-identical metric summaries (the CMPSIM_JOBS
+ * invariance every bench table now depends on).
+ *
  *   determinism_check [workload ...]      # default: zeus apsi
  *
  * Exit status 0 when every workload reproduces, 1 otherwise.
@@ -26,22 +31,14 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fingerprint.h"
 #include "src/core_api/cmp_system.h"
+#include "src/core_api/parallel_runner.h"
 #include "src/workload/workload_params.h"
 
 namespace {
 
-/** FNV-1a over a byte string: stable, dependency-free fingerprint. */
-std::uint64_t
-fnv1a(const std::string &bytes)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (unsigned char c : bytes) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
-}
+using cmpsim::fnv1a;
 
 /** One full warmup + measured run; returns the stats fingerprint. */
 std::uint64_t
@@ -68,6 +65,54 @@ runOnce(const std::string &workload)
     out << "instructions " << sys.instructions() << "\n";
     out << "audit_passes " << sys.audits().passesRun() << "\n";
     return fnv1a(out.str());
+}
+
+/**
+ * Parallel-runner leg: batch every workload through runPoints() with
+ * 1 worker and with 4; each point's summary must fingerprint
+ * identically. Returns 0 on success, 1 on any divergence.
+ */
+int
+checkParallelRunner(const std::vector<std::string> &workloads)
+{
+    using namespace cmpsim;
+    std::vector<PointSpec> specs;
+    for (const std::string &w : workloads) {
+        PointSpec spec;
+        spec.config = makeConfig(/*cores=*/4, /*scale=*/4,
+                                 /*cache_compression=*/true,
+                                 /*link_compression=*/true,
+                                 /*prefetching=*/true,
+                                 /*adaptive=*/true);
+        spec.benchmark = w;
+        spec.lengths.warmup_per_core = 20000;
+        spec.lengths.measure_per_core = 10000;
+        spec.seeds = 2;
+        specs.push_back(std::move(spec));
+    }
+
+    const auto serial = runPoints(specs, /*jobs=*/1);
+    const auto parallel = runPoints(specs, /*jobs=*/4);
+
+    int status = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::uint64_t h1 = fnv1a(summaryBytes(serial[i]));
+        const std::uint64_t h4 = fnv1a(summaryBytes(parallel[i]));
+        if (h1 == h4) {
+            std::printf("determinism_check: %-8s ok    %016llx "
+                        "(jobs 1 == jobs 4)\n",
+                        specs[i].benchmark.c_str(),
+                        static_cast<unsigned long long>(h1));
+        } else {
+            std::printf("determinism_check: %-8s FAIL  %016llx != "
+                        "%016llx (jobs 1 vs jobs 4)\n",
+                        specs[i].benchmark.c_str(),
+                        static_cast<unsigned long long>(h1),
+                        static_cast<unsigned long long>(h4));
+            status = 1;
+        }
+    }
+    return status;
 }
 
 } // namespace
@@ -98,5 +143,6 @@ main(int argc, char **argv)
             status = 1;
         }
     }
+    status |= checkParallelRunner(workloads);
     return status;
 }
