@@ -79,13 +79,20 @@ done
 {
   echo "{"
   echo "  \"jobs\": $jobs,"
+  if [ "$overall" -eq 0 ]; then
+    echo "  \"status\": \"ok\","
+  else
+    echo "  \"status\": \"failed\","
+  fi
   echo "  \"benches\": ["
   sep=""
   for b in "${benches[@]}"; do
     name=$(basename "$b")
-    printf '%s    { "name": "%s", "wall_seconds": %s, "exit_status": %s }' \
-      "$sep" "$name" "$(cat "$tmpdir/$name.secs")" \
-      "$(cat "$tmpdir/$name.status")"
+    status=$(cat "$tmpdir/$name.status")
+    if [ "$status" -eq 0 ]; then word=ok; else word=failed; fi
+    printf '%s    { "name": "%s", "status": "%s", "wall_seconds": %s, "exit_status": %s }' \
+      "$sep" "$name" "$word" "$(cat "$tmpdir/$name.secs")" \
+      "$status"
     sep=",
 "
   done
@@ -94,5 +101,8 @@ done
   echo "}"
 } > "$json"
 
+if [ "$overall" -ne 0 ]; then
+  echo "run_benches.sh: some benches failed (see $json)" | tee -a "$out" >&2
+fi
 echo "ALL_BENCHES_DONE" | tee -a "$out"
 exit $overall

@@ -4,6 +4,7 @@
 
 #include "src/audit/audits.h"
 #include "src/compression/bdi.h"
+#include "src/sim/fault_injection.h"
 
 namespace cmpsim {
 
@@ -350,6 +351,7 @@ L2Cache::trainPrefetcher(unsigned cpu, Addr line, Cycle when)
 void
 L2Cache::fill(Addr line, Cycle arrival)
 {
+    faultSite("l2.fill");
     auto it = mshrs_.find(line);
     cmpsim_assert(it != mshrs_.end());
     Mshr m = std::move(it->second);

@@ -2,10 +2,17 @@
  * @file
  * Error-reporting helpers in the spirit of gem5's logging.hh.
  *
- * panic()  - internal invariant violated; a cmpsim bug. Aborts.
- * fatal()  - the user asked for something impossible (bad config). Exits.
+ * panic()  - internal invariant violated; a cmpsim bug.
+ *            Throws InvariantError (src/common/sim_error.h).
+ * fatal()  - the user asked for something impossible (bad config).
+ *            Throws ConfigError.
  * warn()   - something works, but not as well as it should.
  * inform() - status messages.
+ *
+ * panic/fatal used to abort()/exit(1); they throw so the experiment
+ * layer can contain one failed simulation point without killing a
+ * whole batch (DESIGN.md §8). cmpsim_assert() still aborts: a tripped
+ * assertion means in-memory state cannot be trusted enough to unwind.
  */
 
 #ifndef CMPSIM_COMMON_LOG_H

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/fault_injection.h"
+
 namespace cmpsim {
 
 CoreModel::CoreModel(EventQueue &eq, L1Cache &icache, L1Cache &dcache,
@@ -185,6 +187,12 @@ CoreModel::issueChainHead(Cycle now)
 Cycle
 CoreModel::tick(Cycle now)
 {
+    if (faultStallActive("core.stall")) {
+        // Injected livelock: keep ticking without retiring anything so
+        // the cycle-based watchdog (not a hang) ends the simulation.
+        next_wake_ = now + 1;
+        return next_wake_;
+    }
     ++cycles_;
     bool progress = false;
 

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "src/audit/audits.h"
+#include "src/common/sim_error.h"
+#include "src/sim/fault_injection.h"
 
 namespace cmpsim {
 
@@ -30,6 +32,13 @@ CmpSystem::CmpSystem(const SystemConfig &config,
             static_cast<Cycle>(std::strtoull(env, nullptr, 10));
         config_.audit_fill_roundtrip = config_.audit_interval != 0;
     }
+    // Same pattern for the forward-progress watchdog: CMPSIM_WATCHDOG
+    // overrides the cycle budget (0 disables it).
+    if (const char *env = std::getenv("CMPSIM_WATCHDOG")) {
+        config_.watchdog_cycles =
+            static_cast<Cycle>(std::strtoull(env, nullptr, 10));
+    }
+    config_.validate();
     buildSystem();
 }
 
@@ -180,6 +189,7 @@ CmpSystem::warmup(std::uint64_t instr_per_core)
     l2_->setFunctionalMode(true);
     std::uint64_t done = 0;
     while (done < instr_per_core) {
+        checkPointDeadline("warmup");
         const std::uint64_t chunk =
             std::min(kWarmupChunk, instr_per_core - done);
         for (auto &core : cores_)
@@ -207,12 +217,27 @@ CmpSystem::run(std::uint64_t instr_per_core)
         audit_interval > 0 ? start + audit_interval : kCycleNever;
     std::uint64_t retired = start_retired;
 
+    // Forward-progress watchdog: if no core retires an instruction for
+    // watchdog_cycles simulated cycles, the run is livelocked (events
+    // keep flowing but nothing completes) and we bail out with a
+    // diagnosable WatchdogTimeout instead of spinning forever.
+    const Cycle watchdog = config_.watchdog_cycles;
+    Cycle last_progress = start;
+    std::uint64_t last_retired = retired;
+    std::uint64_t iterations = 0;
+
     while (retired < target) {
+        if ((++iterations & 0x1ff) == 0)
+            checkPointDeadline("run");
+
         Cycle next = eq_.nextEventCycle();
         for (auto &core : cores_)
             next = std::min(next, core->nextWake());
-        if (next == kCycleNever)
-            cmpsim_panic("simulation deadlock: no events, no core work");
+        if (next == kCycleNever) {
+            cmpsim_panic("simulation deadlock: no events, no core "
+                         "work\n%s",
+                         runDiagnostic(now).c_str());
+        }
         if (next < now)
             next = now;
 
@@ -224,6 +249,16 @@ CmpSystem::run(std::uint64_t instr_per_core)
             if (core->nextWake() <= now)
                 core->tick(now);
             retired += core->instructionsRetired();
+        }
+
+        if (retired != last_retired) {
+            last_retired = retired;
+            last_progress = now;
+        } else if (watchdog > 0 && now - last_progress >= watchdog) {
+            throw WatchdogTimeout(
+                "cmp_system.run",
+                "no instruction retired in " + std::to_string(watchdog) +
+                    " cycles (CMPSIM_WATCHDOG)\n" + runDiagnostic(now));
         }
 
         if (now >= next_sample) {
@@ -241,6 +276,24 @@ CmpSystem::run(std::uint64_t instr_per_core)
         audits_.enforce(); // end-of-simulation audit
     measured_cycles_ = now - start;
     measured_instructions_ = retired - start_retired;
+}
+
+std::string
+CmpSystem::runDiagnostic(Cycle now) const
+{
+    std::string out = "  now=" + std::to_string(now) +
+                      " eq.size=" + std::to_string(eq_.size());
+    const Cycle horizon = eq_.nextEventCycle();
+    out += " eq.next=";
+    out += horizon == kCycleNever ? "never" : std::to_string(horizon);
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        const Cycle wake = cores_[c]->nextWake();
+        out += "\n  core." + std::to_string(c) + ": nextWake=";
+        out += wake == kCycleNever ? "never" : std::to_string(wake);
+        out += " retired=" +
+               std::to_string(cores_[c]->instructionsRetired());
+    }
+    return out;
 }
 
 double

@@ -19,6 +19,7 @@
 #define CMPSIM_CORE_API_CMP_SYSTEM_H
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/audit/invariant_registry.h"
@@ -103,6 +104,9 @@ class CmpSystem
   private:
     void buildSystem();
     void resetAllStats();
+    /** One-line-per-item progress diagnostic for watchdog/deadlock
+     *  reports: event-queue depth and horizon plus per-core state. */
+    std::string runDiagnostic(Cycle now) const;
 
     SystemConfig config_;
     WorkloadParams workload_;

@@ -1,9 +1,17 @@
 #include "src/core_api/parallel_runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 
+#include "src/common/fingerprint.h"
 #include "src/sim/thread_pool.h"
 
 namespace cmpsim {
@@ -18,56 +26,181 @@ defaultJobs()
     return hw == 0 ? 1 : hw;
 }
 
-std::vector<MetricSummary>
-runPoints(const std::vector<PointSpec> &points, unsigned jobs)
+RunPolicy
+defaultRunPolicy()
 {
-    std::vector<MetricSummary> results(points.size());
-    std::size_t tasks = 0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        cmpsim_assert(points[i].seeds >= 1);
-        results[i].runs.resize(points[i].seeds);
-        tasks += points[i].seeds;
+    RunPolicy policy;
+    policy.max_attempts =
+        1 + static_cast<unsigned>(envUint64Or("CMPSIM_RETRIES", 1));
+    if (const char *env = std::getenv("CMPSIM_JOURNAL")) {
+        if (*env != '\0')
+            policy.journal_path = env;
     }
-    if (tasks == 0)
-        return results;
-
-    if (jobs == 0)
-        jobs = defaultJobs();
-    jobs = static_cast<unsigned>(
-        std::min<std::size_t>(jobs, tasks));
-
-    {
-        // Scope the pool so its destructor joins the workers even if
-        // wait() rethrows a task exception.
-        ThreadPool pool(jobs);
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            for (unsigned s = 0; s < points[i].seeds; ++s) {
-                // Slot writes are race-free: (i, s) is unique per task
-                // and the result vectors are pre-sized above.
-                pool.submit([&points, &results, i, s] {
-                    SystemConfig config = points[i].config;
-                    config.seed = s + 1;
-                    results[i].runs[s] = runOnce(
-                        config, points[i].benchmark, points[i].lengths);
-                });
-            }
+    if (const char *env = std::getenv("CMPSIM_POINT_TIMEOUT")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end == env || *end != '\0') {
+            throw ConfigError("CMPSIM_POINT_TIMEOUT",
+                              std::string("bad value \"") + env + "\"");
         }
-        pool.wait();
+        policy.point_timeout_sec = v;
     }
+    policy.faults = FaultPlan::fromEnv();
+    return policy;
+}
 
-    // Seed aggregation happens serially, in slot order, so the
-    // summary statistics are bit-identical to the serial loop's.
-    for (auto &summary : results) {
-        std::vector<double> cycle_samples;
-        cycle_samples.reserve(summary.runs.size());
-        for (const auto &r : summary.runs)
-            cycle_samples.push_back(r.cycles);
-        summary.cycles = summarize(cycle_samples);
+std::size_t
+BatchResult::failed() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(outcomes.begin(), outcomes.end(),
+                      [](const PointOutcome &o) {
+                          return o.status == PointStatus::Failed;
+                      }));
+}
+
+std::size_t
+BatchResult::restored() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(outcomes.begin(), outcomes.end(),
+                      [](const PointOutcome &o) {
+                          return o.status == PointStatus::Restored;
+                      }));
+}
+
+std::string
+BatchResult::failureSummary() const
+{
+    const std::size_t n = failed();
+    if (n == 0)
+        return "";
+    std::string out = std::to_string(n) + "/" +
+                      std::to_string(outcomes.size()) +
+                      " points failed:";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const PointOutcome &o = outcomes[i];
+        if (o.status != PointStatus::Failed)
+            continue;
+        out += "\n  point " + std::to_string(i) + " after " +
+               std::to_string(o.attempts) + " attempt(s): " + o.error;
     }
-    return results;
+    return out;
 }
 
 namespace {
+
+/**
+ * Append-only journal of completed points. Text format:
+ *
+ *     cmpsim-journal v1\n
+ *     point <fp:016x> <len>\n
+ *     <len bytes of summaryBytes() text>end\n
+ *     ...
+ *
+ * Loading tolerates a crash mid-append: the valid prefix is kept and
+ * the partial tail truncated away, so a journal is usable after any
+ * interruption. Appends are serialized by a mutex and flushed per
+ * record (a record is either fully present or dropped on reload).
+ */
+class Journal
+{
+  public:
+    explicit Journal(const std::string &path) : path_(path)
+    {
+        load();
+        out_.open(path_, std::ios::binary | std::ios::app);
+        if (!out_.is_open()) {
+            throw ConfigError("journal",
+                              "cannot open journal file \"" + path_ +
+                                  "\" for append");
+        }
+    }
+
+    bool
+    lookup(std::uint64_t fp, std::string &bytes) const
+    {
+        const auto it = records_.find(fp);
+        if (it == records_.end())
+            return false;
+        bytes = it->second;
+        return true;
+    }
+
+    void
+    append(std::uint64_t fp, const std::string &bytes)
+    {
+        char head[64];
+        std::snprintf(head, sizeof(head), "point %016llx %zu\n",
+                      static_cast<unsigned long long>(fp), bytes.size());
+        std::lock_guard<std::mutex> lock(mutex_);
+        out_ << head << bytes << "end\n";
+        out_.flush();
+    }
+
+  private:
+    static constexpr const char *kHeader = "cmpsim-journal v1\n";
+
+    void
+    load()
+    {
+        std::string content;
+        {
+            std::ifstream in(path_, std::ios::binary);
+            if (in) {
+                content.assign(std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>());
+            }
+        }
+
+        const std::string header = kHeader;
+        std::size_t good = 0;
+        if (content.compare(0, header.size(), header) == 0) {
+            std::size_t pos = header.size();
+            good = pos;
+            while (pos < content.size()) {
+                if (content.compare(pos, 6, "point ") != 0)
+                    break;
+                const std::size_t nl = content.find('\n', pos);
+                if (nl == std::string::npos)
+                    break;
+                const char *p = content.c_str() + pos + 6;
+                char *end = nullptr;
+                const std::uint64_t fp = std::strtoull(p, &end, 16);
+                if (end == p || *end != ' ')
+                    break;
+                p = end + 1;
+                const std::uint64_t len = std::strtoull(p, &end, 10);
+                if (end == p || end != content.c_str() + nl)
+                    break;
+                const std::size_t body = nl + 1;
+                if (body + len + 4 > content.size())
+                    break; // truncated mid-record
+                if (content.compare(body + len, 4, "end\n") != 0)
+                    break;
+                records_[fp] = content.substr(body, len);
+                pos = body + len + 4;
+                good = pos;
+            }
+        }
+
+        if (good == 0) {
+            // Missing, empty, or unrecognisable: start fresh.
+            std::ofstream fresh(path_,
+                                std::ios::binary | std::ios::trunc);
+            if (fresh.is_open())
+                fresh << header;
+        } else if (good < content.size()) {
+            // Drop the partial tail a crash left behind.
+            std::filesystem::resize_file(path_, good);
+        }
+    }
+
+    std::string path_;
+    std::unordered_map<std::uint64_t, std::string> records_;
+    std::ofstream out_;
+    std::mutex mutex_;
+};
 
 void
 appendHex(std::string &out, const char *name, double v)
@@ -77,7 +210,180 @@ appendHex(std::string &out, const char *name, double v)
     out += buf;
 }
 
+/** Aggregate a point's per-seed cycles exactly as the serial runSeeds
+ *  loop does, so summaries are bit-identical however they were
+ *  produced (simulated, retried, or journal-restored). */
+void
+aggregatePoint(MetricSummary &summary)
+{
+    std::vector<double> cycle_samples;
+    cycle_samples.reserve(summary.runs.size());
+    for (const auto &r : summary.runs)
+        cycle_samples.push_back(r.cycles);
+    summary.cycles = summarize(cycle_samples);
+}
+
 } // namespace
+
+BatchResult
+runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
+                 const RunPolicy &policy)
+{
+    BatchResult batch;
+    batch.summaries.resize(points.size());
+    batch.outcomes.resize(points.size());
+
+    std::unique_ptr<Journal> journal;
+    if (!policy.journal_path.empty())
+        journal = std::make_unique<Journal>(policy.journal_path);
+
+    // Restore journaled points; lay out the remaining (point, seed)
+    // tasks in submission order.
+    struct Task
+    {
+        std::size_t point;
+        unsigned seed_idx;
+    };
+    std::vector<Task> tasks;
+    std::vector<std::uint64_t> fps(points.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].seeds < 1) {
+            throw ConfigError("point.seeds",
+                              "point " + std::to_string(i) +
+                                  " has zero seeds");
+        }
+        fps[i] = fnv1a(pointSpecBytes(points[i]));
+        std::string bytes;
+        if (journal && journal->lookup(fps[i], bytes) &&
+            parseSummaryBytes(bytes, batch.summaries[i]) &&
+            batch.summaries[i].runs.size() == points[i].seeds) {
+            batch.outcomes[i].status = PointStatus::Restored;
+            continue;
+        }
+        batch.summaries[i].runs.assign(points[i].seeds, RunResult{});
+        for (unsigned s = 0; s < points[i].seeds; ++s)
+            tasks.push_back(Task{i, s});
+    }
+    if (tasks.empty())
+        return batch;
+
+    if (jobs == 0)
+        jobs = defaultJobs();
+    jobs = static_cast<unsigned>(std::min<std::size_t>(jobs, tasks.size()));
+
+    // Per-task failure slots (race-free: unique per task) and per-point
+    // countdown of outstanding seeds; the last seed to finish a point
+    // aggregates it and appends the journal record, so a crash later
+    // in the batch cannot lose already-completed points.
+    struct TaskFailure
+    {
+        bool failed = false;
+        ErrorKind kind = ErrorKind::Internal;
+        std::string what;
+    };
+    std::vector<TaskFailure> failures(tasks.size());
+    std::unique_ptr<std::atomic<unsigned>[]> pending(
+        new std::atomic<unsigned>[points.size()]);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        pending[i].store(points[i].seeds, std::memory_order_relaxed);
+
+    const unsigned max_attempts = std::max(policy.max_attempts, 1u);
+    std::vector<std::size_t> round(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t)
+        round[t] = t;
+
+    // Scope the pool so its destructor joins the workers even if
+    // wait() rethrows (it shouldn't: tasks catch internally).
+    ThreadPool pool(jobs);
+    for (unsigned attempt = 1;
+         attempt <= max_attempts && !round.empty(); ++attempt) {
+        for (const std::size_t t : round) {
+            pool.submit([&points, &policy, &batch, &failures, &tasks,
+                         &fps, &pending, &journal, t, attempt] {
+                const Task &task = tasks[t];
+                TaskFailure &slot = failures[t];
+                slot.failed = false;
+                try {
+                    // Arm injection/deadline for exactly this attempt
+                    // of this (point, seed) task.
+                    FaultArmGuard arm(policy.faults, attempt,
+                                      task.point, task.seed_idx + 1);
+                    DeadlineGuard deadline(policy.point_timeout_sec);
+                    SystemConfig config = points[task.point].config;
+                    config.seed = task.seed_idx + 1;
+                    batch.summaries[task.point].runs[task.seed_idx] =
+                        runOnce(config, points[task.point].benchmark,
+                                points[task.point].lengths);
+                } catch (const SimError &e) {
+                    slot.failed = true;
+                    slot.kind = e.kind();
+                    slot.what = e.what();
+                    return;
+                } catch (const std::exception &e) {
+                    slot.failed = true;
+                    slot.kind = ErrorKind::Internal;
+                    slot.what = e.what();
+                    return;
+                } catch (...) {
+                    slot.failed = true;
+                    slot.kind = ErrorKind::Internal;
+                    slot.what = "non-standard exception";
+                    return;
+                }
+                if (pending[task.point].fetch_sub(1) == 1) {
+                    aggregatePoint(batch.summaries[task.point]);
+                    if (journal) {
+                        journal->append(
+                            fps[task.point],
+                            summaryBytes(batch.summaries[task.point]));
+                    }
+                }
+            });
+        }
+        pool.wait();
+
+        // Classify this round serially, in task order, so retry order
+        // (and therefore every outcome) is deterministic.
+        std::vector<std::size_t> retry;
+        for (const std::size_t t : round) {
+            const Task &task = tasks[t];
+            PointOutcome &outcome = batch.outcomes[task.point];
+            outcome.attempts = std::max(outcome.attempts, attempt);
+            const TaskFailure &slot = failures[t];
+            if (!slot.failed)
+                continue;
+            if (errorKindTransient(slot.kind) && attempt < max_attempts) {
+                retry.push_back(t);
+                continue;
+            }
+            if (outcome.status != PointStatus::Failed) {
+                outcome.status = PointStatus::Failed;
+                outcome.error_kind = slot.kind;
+                outcome.error = slot.what;
+            }
+        }
+        round = std::move(retry);
+    }
+
+    return batch;
+}
+
+std::vector<MetricSummary>
+runPoints(const std::vector<PointSpec> &points, unsigned jobs)
+{
+    BatchResult batch = runPointsChecked(points, jobs, defaultRunPolicy());
+    if (batch.failed() != 0) {
+        ErrorKind kind = ErrorKind::Internal;
+        for (const PointOutcome &o : batch.outcomes) {
+            if (o.status == PointStatus::Failed) {
+                kind = o.error_kind;
+                break;
+            }
+        }
+        throw SimError(kind, "parallel_runner", batch.failureSummary());
+    }
+    return std::move(batch.summaries);
+}
 
 std::string
 summaryBytes(const MetricSummary &summary)
@@ -108,6 +414,121 @@ summaryBytes(const MetricSummary &summary)
         appendHex(out, "harmful", r.harmful_flags);
         appendHex(out, "victim_tags", r.victim_tags_per_set);
     }
+    return out;
+}
+
+bool
+parseSummaryBytes(const std::string &bytes, MetricSummary &out)
+{
+    out = MetricSummary{};
+    std::size_t pos = 0;
+
+    auto nextLine = [&bytes, &pos](std::string &line) {
+        if (pos >= bytes.size())
+            return false;
+        const std::size_t nl = bytes.find('\n', pos);
+        if (nl == std::string::npos)
+            return false; // every line must be newline-terminated
+        line.assign(bytes, pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    };
+    auto readValue = [&nextLine](const char *key, double &v) {
+        std::string line;
+        if (!nextLine(line))
+            return false;
+        const std::size_t klen = std::string(key).size();
+        if (line.compare(0, klen, key) != 0 || line.size() <= klen ||
+            line[klen] != '=')
+            return false;
+        const char *start = line.c_str() + klen + 1;
+        char *end = nullptr;
+        v = std::strtod(start, &end);
+        return end == line.c_str() + line.size();
+    };
+
+    double mean = 0, ci95 = 0;
+    if (!readValue("cycles.mean", mean) ||
+        !readValue("cycles.ci95", ci95))
+        return false;
+    std::string nline;
+    if (!nextLine(nline) || nline.compare(0, 2, "n=") != 0)
+        return false;
+    char *end = nullptr;
+    const std::uint64_t n =
+        std::strtoull(nline.c_str() + 2, &end, 10);
+    if (end != nline.c_str() + nline.size())
+        return false;
+
+    while (pos < bytes.size()) {
+        RunResult r;
+        if (!readValue("cycles", r.cycles) ||
+            !readValue("instructions", r.instructions) ||
+            !readValue("ipc", r.ipc) ||
+            !readValue("l2_demand_misses", r.l2_demand_misses) ||
+            !readValue("l2_demand_accesses", r.l2_demand_accesses) ||
+            !readValue("l2_miss_rate", r.l2_miss_rate) ||
+            !readValue("l2_mpki", r.l2_misses_per_kilo_instr) ||
+            !readValue("bandwidth_gbps", r.bandwidth_gbps) ||
+            !readValue("compression_ratio", r.compression_ratio) ||
+            !readValue("penalized_hits", r.penalized_hits))
+            return false;
+        for (auto *pf : {&r.l1i, &r.l1d, &r.l2pf}) {
+            if (!readValue("pf.rate", pf->rate_per_kilo_instr) ||
+                !readValue("pf.coverage", pf->coverage_pct) ||
+                !readValue("pf.accuracy", pf->accuracy_pct))
+                return false;
+        }
+        if (!readValue("adaptive_counter", r.l2_adaptive_counter) ||
+            !readValue("useful", r.useful_prefetches) ||
+            !readValue("useless", r.useless_prefetches) ||
+            !readValue("harmful", r.harmful_flags) ||
+            !readValue("victim_tags", r.victim_tags_per_set))
+            return false;
+        out.runs.push_back(r);
+    }
+    if (n != out.runs.size())
+        return false;
+
+    // Recompute the aggregate instead of trusting the stored header:
+    // summarize() is deterministic, so the round trip is byte-exact
+    // and the struct is internally consistent by construction.
+    aggregatePoint(out);
+    return true;
+}
+
+std::string
+pointSpecBytes(const PointSpec &spec)
+{
+    const SystemConfig &c = spec.config;
+    std::string out = "cmpsim-point v1\n";
+    auto kv = [&out](const char *key, std::uint64_t v) {
+        out += std::string(key) + "=" + std::to_string(v) + "\n";
+    };
+    // Every knob that changes simulated behaviour. Excluded on
+    // purpose: seed (the runner assigns s+1 per task), audit_interval
+    // / audit_fill_roundtrip / watchdog_cycles (observability only —
+    // they abort bad runs, never change good ones).
+    kv("cores", c.cores);
+    kv("scale", c.scale);
+    kv("cache_compression", c.cache_compression);
+    kv("link_compression", c.link_compression);
+    kv("prefetching", c.prefetching);
+    kv("adaptive_prefetch", c.adaptive_prefetch);
+    appendHex(out, "pin_bandwidth_gbps", c.pin_bandwidth_gbps);
+    kv("infinite_bandwidth", c.infinite_bandwidth);
+    kv("shared_l2_prefetcher", c.shared_l2_prefetcher);
+    kv("l1_prefetch_triggers_l2", c.l1_prefetch_triggers_l2);
+    kv("extra_victim_tags", c.extra_victim_tags);
+    kv("l1_startup_prefetches", c.l1_startup_prefetches);
+    kv("l2_startup_prefetches", c.l2_startup_prefetches);
+    kv("decompression_latency", c.decompression_latency);
+    kv("adaptive_compression", c.adaptive_compression);
+    kv("wide_compressed_sets", c.wide_compressed_sets);
+    out += "benchmark=" + spec.benchmark + "\n";
+    kv("warmup_per_core", spec.lengths.warmup_per_core);
+    kv("measure_per_core", spec.lengths.measure_per_core);
+    kv("seeds", spec.seeds);
     return out;
 }
 

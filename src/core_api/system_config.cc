@@ -1,8 +1,88 @@
 #include "src/core_api/system_config.h"
 
+#include <cmath>
+#include <string>
+
 #include "src/common/log.h"
+#include "src/common/sim_error.h"
 
 namespace cmpsim {
+
+namespace {
+
+bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+[[noreturn]] void
+reject(const char *knob, const std::string &why)
+{
+    throw ConfigError(knob, why);
+}
+
+} // namespace
+
+void
+SystemConfig::validate() const
+{
+    if (cores < 1 || cores > kMaxCores) {
+        reject("config.cores", "cores must be 1.." +
+                                   std::to_string(kMaxCores) + ", got " +
+                                   std::to_string(cores));
+    }
+    if (scale < 1)
+        reject("config.scale", "scale must be >= 1");
+
+    const L1Params l1 = l1Params();
+    if (l1.ways == 0)
+        reject("config.l1", "zero L1 ways");
+    if (!isPowerOfTwo(l1.sets)) {
+        reject("config.l1", "non-power-of-two L1 set count " +
+                                std::to_string(l1.sets) + " (scale " +
+                                std::to_string(scale) + ")");
+    }
+    if (l1.mshrs == 0)
+        reject("config.l1", "zero L1 MSHRs");
+
+    const L2Params l2 = l2Params();
+    if (l2.tags_per_set == 0)
+        reject("config.l2", "zero L2 tags per set");
+    if (!isPowerOfTwo(l2.sets)) {
+        reject("config.l2", "non-power-of-two L2 set count " +
+                                std::to_string(l2.sets) + " (scale " +
+                                std::to_string(scale) + ")");
+    }
+    if (!isPowerOfTwo(l2.banks))
+        reject("config.l2", "L2 bank count must be a power of two");
+    if (l2.segment_budget < kSegmentsPerLine) {
+        reject("config.l2", "segment budget " +
+                                std::to_string(l2.segment_budget) +
+                                " cannot hold one uncompressed " +
+                                std::to_string(kSegmentsPerLine) +
+                                "-segment line");
+    }
+
+    const MemoryParams mem = memoryParams();
+    if (!infinite_bandwidth) {
+        if (!(pin_bandwidth_gbps > 0.0) ||
+            !std::isfinite(pin_bandwidth_gbps)) {
+            reject("config.bandwidth",
+                   "pin bandwidth must be positive and finite");
+        }
+        // The derived link width must agree with the requested pin
+        // rate (bytesPerCycle is the single source of truth; a zero
+        // or negative width would stall every off-chip transfer).
+        if (!(mem.link_bytes_per_cycle > 0.0)) {
+            reject("config.link",
+                   "inconsistent link width: " +
+                       std::to_string(mem.link_bytes_per_cycle) +
+                       " bytes/cycle derived from " +
+                       std::to_string(pin_bandwidth_gbps) + " GB/s");
+        }
+    }
+}
 
 L1Params
 SystemConfig::l1Params() const
@@ -85,7 +165,8 @@ makeConfig(unsigned cores, unsigned scale, bool cache_compression,
            bool link_compression, bool prefetching, bool adaptive,
            double pin_bandwidth_gbps)
 {
-    cmpsim_assert(cores >= 1 && cores <= kMaxCores);
+    // Out-of-range values are rejected by validate() when the system
+    // is built, with a catchable ConfigError instead of an assert.
     SystemConfig c;
     c.cores = cores;
     c.scale = scale;

@@ -95,6 +95,29 @@ struct SystemConfig
      *  the line's value on every L2 fill (debug/audit builds). */
     bool audit_fill_roundtrip = false;
 
+    // ---- failure model (DESIGN.md Section 8) ----
+
+    /**
+     * No-forward-progress watchdog: if no core retires a single
+     * instruction across this many cycles of timed simulation, run()
+     * throws WatchdogTimeout with an event-queue/core diagnostic
+     * instead of spinning forever. 0 disables. The default is far
+     * above any legitimate stall (DRAM latency is 400 cycles; link
+     * backlogs reach thousands). The CMPSIM_WATCHDOG environment
+     * variable overrides this at CmpSystem construction.
+     */
+    Cycle watchdog_cycles = 2'000'000;
+
+    /**
+     * Reject impossible configurations (zero cores/ways, non-power-of-
+     * two set counts, inconsistent link widths, ...) by throwing
+     * ConfigError with the offending knob as context. Called by
+     * CmpSystem's constructor, so every entry point — CLI, benches,
+     * the parallel runner — fails with a catchable, structured error
+     * instead of building a broken system.
+     */
+    void validate() const;
+
     // ---- derived parameter blocks ----
 
     L1Params l1Params() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/fault_injection.h"
+
 namespace cmpsim {
 
 PriorityLink::PriorityLink(EventQueue &eq, double bytes_per_cycle,
@@ -15,6 +17,7 @@ void
 PriorityLink::send(unsigned bytes, LinkClass cls, Cycle ready,
                    Deliver deliver)
 {
+    faultSite("link.transfer");
     total_bytes_ += bytes;
     class_bytes_[static_cast<unsigned>(cls)] += bytes;
     ++transfers_;

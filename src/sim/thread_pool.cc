@@ -1,6 +1,9 @@
 #include "src/sim/thread_pool.h"
 
+#include <string>
 #include <utility>
+
+#include "src/common/sim_error.h"
 
 namespace cmpsim {
 
@@ -39,11 +42,27 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     all_done_.wait(lock, [this] { return in_flight_ == 0; });
-    if (first_error_) {
-        std::exception_ptr err = std::exchange(first_error_, nullptr);
-        lock.unlock();
-        std::rethrow_exception(err);
+    if (errors_.empty())
+        return;
+    std::vector<std::exception_ptr> errors = std::move(errors_);
+    errors_.clear();
+    lock.unlock();
+
+    if (errors.size() == 1)
+        std::rethrow_exception(errors.front());
+
+    // Several tasks failed: surface the count plus the first message
+    // so the caller sees the batch is poisoned, not just one symptom.
+    std::string first = "unknown error";
+    try {
+        std::rethrow_exception(errors.front());
+    } catch (const std::exception &e) {
+        first = e.what();
+    } catch (...) {
     }
+    throw SimError(ErrorKind::Internal, "thread_pool",
+                   std::to_string(errors.size()) +
+                       " tasks failed; first: " + first);
 }
 
 void
@@ -65,8 +84,7 @@ ThreadPool::workerLoop()
             task();
         } catch (...) {
             std::unique_lock<std::mutex> lock(mutex_);
-            if (!first_error_)
-                first_error_ = std::current_exception();
+            errors_.push_back(std::current_exception());
         }
         {
             std::unique_lock<std::mutex> lock(mutex_);

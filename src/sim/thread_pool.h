@@ -28,8 +28,9 @@ namespace cmpsim {
  * Fixed worker pool with FIFO dispatch.
  *
  * submit() enqueues a task; wait() blocks until every submitted task
- * has finished and rethrows the first task exception, if any (later
- * exceptions are swallowed; the batch is already poisoned). The
+ * has finished. Task exceptions are collected, not dropped: one
+ * failure is rethrown as-is, several are folded into a SimError
+ * carrying the failure count and the first error's message. The
  * destructor drains outstanding work and joins the workers.
  */
 class ThreadPool
@@ -47,8 +48,9 @@ class ThreadPool
     /** Enqueue @p task. Must not be called concurrently with wait(). */
     void submit(Task task);
 
-    /** Block until all submitted tasks finished; rethrow the first
-     *  exception any task raised since the last wait(). */
+    /** Block until all submitted tasks finished. One task exception
+     *  since the last wait() is rethrown as-is; several become one
+     *  SimError reporting the count and the first message. */
     void wait();
 
     unsigned threadCount() const
@@ -64,7 +66,7 @@ class ThreadPool
     std::condition_variable all_done_;
     std::deque<Task> queue_;
     std::size_t in_flight_ = 0; ///< queued + currently executing
-    std::exception_ptr first_error_;
+    std::vector<std::exception_ptr> errors_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
 };

@@ -11,6 +11,7 @@
 #include "src/workload/workload_params.h"
 
 #include "src/common/log.h"
+#include "src/common/sim_error.h"
 
 namespace cmpsim {
 
@@ -330,7 +331,7 @@ benchmarkParams(const std::string &name)
         return fma3dParams();
     if (name == "mgrid")
         return mgridParams();
-    cmpsim_fatal("unknown benchmark: %s", name.c_str());
+    throw WorkloadError("benchmark", "unknown benchmark: " + name);
 }
 
 const std::vector<std::string> &

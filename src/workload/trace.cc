@@ -2,8 +2,10 @@
 
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "src/common/log.h"
+#include "src/common/sim_error.h"
 
 namespace cmpsim {
 
@@ -29,7 +31,7 @@ putU64(std::FILE *f, std::uint64_t v)
     for (int i = 0; i < 8; ++i)
         buf[i] = static_cast<unsigned char>(v >> (8 * i));
     if (std::fwrite(buf, 1, 8, f) != 8)
-        cmpsim_fatal("trace write failed");
+        throw WorkloadError("trace.write", "trace write failed");
 }
 
 void
@@ -39,7 +41,7 @@ putU32(std::FILE *f, std::uint32_t v)
     for (int i = 0; i < 4; ++i)
         buf[i] = static_cast<unsigned char>(v >> (8 * i));
     if (std::fwrite(buf, 1, 4, f) != 4)
-        cmpsim_fatal("trace write failed");
+        throw WorkloadError("trace.write", "trace write failed");
 }
 
 std::uint64_t
@@ -47,7 +49,9 @@ getU64(std::FILE *f, const char *path)
 {
     unsigned char buf[8];
     if (std::fread(buf, 1, 8, f) != 8)
-        cmpsim_fatal("truncated trace file: %s", path);
+        throw WorkloadError("trace.read",
+                            std::string("truncated trace file: ") +
+                                path);
     std::uint64_t v = 0;
     for (int i = 7; i >= 0; --i)
         v = (v << 8) | buf[i];
@@ -59,7 +63,9 @@ getU32(std::FILE *f, const char *path)
 {
     unsigned char buf[4];
     if (std::fread(buf, 1, 4, f) != 4)
-        cmpsim_fatal("truncated trace file: %s", path);
+        throw WorkloadError("trace.read",
+                            std::string("truncated trace file: ") +
+                                path);
     std::uint32_t v = 0;
     for (int i = 3; i >= 0; --i)
         v = (v << 8) | buf[i];
@@ -74,10 +80,11 @@ TraceWriter::record(InstructionStream &source, std::uint64_t count,
 {
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
-        cmpsim_fatal("cannot open trace file for writing: %s",
-                     path.c_str());
+        throw WorkloadError("trace.write",
+                            "cannot open trace file for writing: " +
+                                path);
     if (std::fwrite(kMagic, 1, 8, f.get()) != 8)
-        cmpsim_fatal("trace write failed");
+        throw WorkloadError("trace.write", "trace write failed");
     putU64(f.get(), count);
 
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -86,7 +93,7 @@ TraceWriter::record(InstructionStream &source, std::uint64_t count,
             (static_cast<unsigned>(in.type) & 0x3) |
             (in.mispredict ? 0x4 : 0) | (in.chained ? 0x8 : 0));
         if (std::fwrite(&kind, 1, 1, f.get()) != 1)
-            cmpsim_fatal("trace write failed");
+            throw WorkloadError("trace.write", "trace write failed");
         putU64(f.get(), in.pc);
         putU64(f.get(), in.addr);
         putU32(f.get(), in.store_value);
@@ -97,20 +104,21 @@ TraceReader::TraceReader(const std::string &path)
 {
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
-        cmpsim_fatal("cannot open trace file: %s", path.c_str());
+        throw WorkloadError("trace.read", "cannot open trace file: " + path);
     char magic[8];
     if (std::fread(magic, 1, 8, f.get()) != 8 ||
         std::memcmp(magic, kMagic, 8) != 0) {
-        cmpsim_fatal("not a cmpsim trace: %s", path.c_str());
+        throw WorkloadError("trace.read", "not a cmpsim trace: " + path);
     }
     const std::uint64_t count = getU64(f.get(), path.c_str());
     if (count == 0)
-        cmpsim_fatal("empty trace: %s", path.c_str());
+        throw WorkloadError("trace.read", "empty trace: " + path);
     instructions_.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         unsigned char kind;
         if (std::fread(&kind, 1, 1, f.get()) != 1)
-            cmpsim_fatal("truncated trace file: %s", path.c_str());
+            throw WorkloadError("trace.read",
+                                "truncated trace file: " + path);
         Instruction in;
         in.type = static_cast<InstrType>(kind & 0x3);
         in.mispredict = (kind & 0x4) != 0;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "src/common/sim_error.h"
+
 #include "src/compression/bdi.h"
 #include "src/compression/fpc.h"
 #include "src/core_api/cmp_system.h"
@@ -47,8 +51,15 @@ TEST(InvariantRegistryTest, EnforcePanicsWithInvariantName)
         why = "counter drifted by 3";
         return false;
     });
-    EXPECT_DEATH(reg.enforce(),
-                 "doomed.check.*counter drifted by 3");
+    try {
+        reg.enforce();
+        FAIL() << "enforce() did not throw";
+    } catch (const InvariantError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("doomed.check"), std::string::npos) << what;
+        EXPECT_NE(what.find("counter drifted by 3"), std::string::npos)
+            << what;
+    }
 }
 
 TEST(InvariantRegistryTest, DuplicateNameIsFatal)
@@ -251,7 +262,14 @@ TEST(AuditSystemTest, CorruptedL2SetIsCaughtAndNamed)
     const auto failures = sys.audits().check();
     ASSERT_FALSE(failures.empty());
     EXPECT_EQ(failures[0].name, "l2.set_integrity");
-    EXPECT_DEATH(sys.audits().enforce(), "l2.set_integrity");
+    try {
+        sys.audits().enforce();
+        FAIL() << "enforce() did not throw";
+    } catch (const InvariantError &e) {
+        EXPECT_NE(std::string(e.what()).find("l2.set_integrity"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(AuditSystemTest, DesyncedAdaptiveControllerIsCaughtAndNamed)

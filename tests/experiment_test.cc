@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/sim_error.h"
+
 #include <cstdlib>
 
 #include "src/core_api/parallel_runner.h"
@@ -52,15 +54,13 @@ TEST_F(EnvUint64OrTest, ExplicitZeroIsAValueNotAnError)
 TEST_F(EnvUint64OrTest, NonNumericIsFatal)
 {
     ::setenv(kVar, "fast", 1);
-    EXPECT_EXIT(envUint64Or(kVar, 7), ::testing::ExitedWithCode(1),
-                "bad value");
+    EXPECT_THROW(envUint64Or(kVar, 7), ConfigError);
 }
 
 TEST_F(EnvUint64OrTest, TrailingGarbageIsFatal)
 {
     ::setenv(kVar, "8threads", 1);
-    EXPECT_EXIT(envUint64Or(kVar, 7), ::testing::ExitedWithCode(1),
-                "bad value");
+    EXPECT_THROW(envUint64Or(kVar, 7), ConfigError);
 }
 
 TEST(DefaultJobsTest, ZeroMeansHardwareAuto)

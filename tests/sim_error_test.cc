@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Error-taxonomy contract (DESIGN.md §8): kinds, what() structure,
+ * transience classification, the throwing cmpsim_fatal/cmpsim_panic
+ * reporters, and SystemConfig::validate() rejections.
+ */
+
+#include "src/common/sim_error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/log.h"
+#include "src/core_api/cmp_system.h"
+#include "src/workload/workload_params.h"
+
+namespace cmpsim {
+namespace {
+
+TEST(SimErrorTest, WhatCarriesKindContextAndMessage)
+{
+    const ConfigError e("config.cores", "cores must be 1..16, got 99");
+    EXPECT_EQ(std::string(e.what()),
+              "[config] config.cores: cores must be 1..16, got 99");
+    EXPECT_EQ(e.kind(), ErrorKind::Config);
+    EXPECT_EQ(e.context(), "config.cores");
+}
+
+TEST(SimErrorTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::Config), "config");
+    EXPECT_STREQ(errorKindName(ErrorKind::Workload), "workload");
+    EXPECT_STREQ(errorKindName(ErrorKind::Invariant), "invariant");
+    EXPECT_STREQ(errorKindName(ErrorKind::Watchdog), "watchdog");
+    EXPECT_STREQ(errorKindName(ErrorKind::Injected), "injected");
+    EXPECT_STREQ(errorKindName(ErrorKind::Internal), "internal");
+}
+
+TEST(SimErrorTest, TransienceSplitsDeterministicFromRetryable)
+{
+    EXPECT_FALSE(errorKindTransient(ErrorKind::Config));
+    EXPECT_FALSE(errorKindTransient(ErrorKind::Workload));
+    EXPECT_FALSE(errorKindTransient(ErrorKind::Invariant));
+    EXPECT_TRUE(errorKindTransient(ErrorKind::Watchdog));
+    EXPECT_TRUE(errorKindTransient(ErrorKind::Injected));
+    EXPECT_TRUE(errorKindTransient(ErrorKind::Internal));
+    EXPECT_TRUE(InjectedFault("l2.fill", 3, 1).transient());
+    EXPECT_FALSE(WorkloadError("trace.read", "gone").transient());
+}
+
+TEST(SimErrorTest, HierarchyIsCatchableAsSimError)
+{
+    try {
+        throw WatchdogTimeout("cmp_system.run", "no progress");
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Watchdog);
+        EXPECT_TRUE(e.transient());
+    }
+}
+
+TEST(SimErrorTest, InjectedFaultNamesSiteOccurrenceAndAttempt)
+{
+    const InjectedFault e("link.transfer", 5, 2);
+    const std::string what = e.what();
+    EXPECT_EQ(e.context(), "link.transfer");
+    EXPECT_NE(what.find("occurrence 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("attempt 2"), std::string::npos) << what;
+}
+
+TEST(SimErrorTest, PanicThrowsInvariantErrorWithFileLineContext)
+{
+    try {
+        cmpsim_panic("counter drifted by %d", 3);
+        FAIL() << "panic did not throw";
+    } catch (const InvariantError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("counter drifted by 3"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("sim_error_test.cc"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(SimErrorTest, FatalThrowsConfigError)
+{
+    EXPECT_THROW(cmpsim_fatal("bad value for %s: %s", "KNOB", "x"),
+                 ConfigError);
+}
+
+TEST(SimErrorTest, UnknownBenchmarkIsWorkloadError)
+{
+    try {
+        benchmarkParams("no-such-benchmark");
+        FAIL() << "benchmarkParams did not throw";
+    } catch (const WorkloadError &e) {
+        EXPECT_NE(std::string(e.what()).find("no-such-benchmark"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ------------------------------------------- SystemConfig::validate
+
+TEST(ConfigValidateTest, PaperConfigMatrixPasses)
+{
+    for (const bool compress : {false, true}) {
+        for (const bool prefetch : {false, true}) {
+            const SystemConfig c = makeConfig(8, 4, compress, compress,
+                                              prefetch, prefetch);
+            EXPECT_NO_THROW(c.validate());
+        }
+    }
+}
+
+TEST(ConfigValidateTest, RejectsZeroAndOversizedCores)
+{
+    SystemConfig c = makeConfig(8, 4, false, false, false, false);
+    c.cores = 0;
+    EXPECT_THROW(c.validate(), ConfigError);
+    c.cores = 17;
+    EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(ConfigValidateTest, RejectsZeroScale)
+{
+    SystemConfig c = makeConfig(8, 4, false, false, false, false);
+    c.scale = 0;
+    EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(ConfigValidateTest, RejectsNonsensePinBandwidth)
+{
+    SystemConfig c = makeConfig(8, 4, false, false, false, false);
+    c.pin_bandwidth_gbps = 0.0;
+    EXPECT_THROW(c.validate(), ConfigError);
+    c.pin_bandwidth_gbps = -5.0;
+    EXPECT_THROW(c.validate(), ConfigError);
+    // Infinite-bandwidth mode never consults the pin rate.
+    c.infinite_bandwidth = true;
+    EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ConfigValidateTest, ErrorNamesTheOffendingKnob)
+{
+    SystemConfig c = makeConfig(8, 4, false, false, false, false);
+    c.cores = 99;
+    try {
+        c.validate();
+        FAIL() << "validate() did not throw";
+    } catch (const ConfigError &e) {
+        EXPECT_EQ(e.context(), "config.cores");
+    }
+}
+
+TEST(ConfigValidateTest, BadConfigIsRejectedAtSystemBuild)
+{
+    SystemConfig c = makeConfig(8, 4, true, true, true, true);
+    c.scale = 0;
+    EXPECT_THROW(CmpSystem(c, benchmarkParams("zeus")), ConfigError);
+}
+
+} // namespace
+} // namespace cmpsim

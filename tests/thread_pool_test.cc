@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/sim_error.h"
+
 #include <atomic>
 #include <mutex>
 #include <set>
@@ -76,6 +78,30 @@ TEST(ThreadPoolTest, FirstExceptionPropagatesFromWait)
     // remaining tasks.
     EXPECT_EQ(ran.load(), 10);
     // The error is consumed; a fresh batch is clean.
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPoolTest, MultipleFailuresAggregateIntoOneSimError)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 3; ++i)
+        pool.submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&ran] { ++ran; });
+    try {
+        pool.wait();
+        FAIL() << "wait() did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Internal);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("3 tasks failed"), std::string::npos) << what;
+        EXPECT_NE(what.find("boom"), std::string::npos) << what;
+    }
+    EXPECT_EQ(ran.load(), 10);
+    // All errors were consumed in one throw; the pool is reusable.
     pool.submit([&ran] { ++ran; });
     pool.wait();
     EXPECT_EQ(ran.load(), 11);

@@ -17,12 +17,24 @@
 #include <sstream>
 #include <string>
 
+#include "src/common/sim_error.h"
 #include "src/core_api/cmp_system.h"
+#include "src/core_api/parallel_runner.h"
+#include "src/sim/fault_injection.h"
 #include "src/workload/trace.h"
 
 using namespace cmpsim;
 
 namespace {
+
+/** One-line structured error, machine-grepable, exit code 2. */
+[[noreturn]] void
+die(const char *context, const std::string &message)
+{
+    std::fprintf(stderr, "cmpsim: error: [usage] %s: %s\n", context,
+                 message.c_str());
+    std::exit(2);
+}
 
 struct CliOptions
 {
@@ -81,11 +93,25 @@ parse(int argc, char **argv)
 {
     CliOptions o;
     auto need_value = [&](int i) -> const char * {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "missing value for %s\n", argv[i]);
-            usage(1);
-        }
+        if (i + 1 >= argc)
+            die(argv[i], "missing value");
         return argv[i + 1];
+    };
+    auto parse_uint = [&](int i) -> std::uint64_t {
+        const char *v = need_value(i);
+        char *end = nullptr;
+        const std::uint64_t parsed = std::strtoull(v, &end, 10);
+        if (end == v || *end != '\0')
+            die(argv[i], std::string("bad integer \"") + v + "\"");
+        return parsed;
+    };
+    auto parse_double = [&](int i) -> double {
+        const char *v = need_value(i);
+        char *end = nullptr;
+        const double parsed = std::strtod(v, &end);
+        if (end == v || *end != '\0')
+            die(argv[i], std::string("bad number \"") + v + "\"");
+        return parsed;
     };
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -96,13 +122,11 @@ parse(int argc, char **argv)
         } else if (a == "--record") {
             o.record_path = need_value(i++);
         } else if (a == "--record-count") {
-            o.record_count = std::strtoull(need_value(i++), nullptr, 10);
+            o.record_count = parse_uint(i++);
         } else if (a == "--cores") {
-            o.cores = static_cast<unsigned>(
-                std::strtoul(need_value(i++), nullptr, 10));
+            o.cores = static_cast<unsigned>(parse_uint(i++));
         } else if (a == "--scale") {
-            o.scale = static_cast<unsigned>(
-                std::strtoul(need_value(i++), nullptr, 10));
+            o.scale = static_cast<unsigned>(parse_uint(i++));
         } else if (a == "--compression") {
             o.cache_compression = o.link_compression = true;
         } else if (a == "--cache-compression") {
@@ -117,31 +141,35 @@ parse(int argc, char **argv)
             o.prefetch = true;
             o.adaptive = true;
         } else if (a == "--bandwidth") {
-            o.bandwidth = std::strtod(need_value(i++), nullptr);
+            o.bandwidth = parse_double(i++);
         } else if (a == "--infinite-bw") {
             o.infinite_bw = true;
         } else if (a == "--warmup") {
-            o.warmup = std::strtoull(need_value(i++), nullptr, 10);
+            o.warmup = parse_uint(i++);
         } else if (a == "--measure") {
-            o.measure = std::strtoull(need_value(i++), nullptr, 10);
+            o.measure = parse_uint(i++);
         } else if (a == "--seed") {
-            o.seed = std::strtoull(need_value(i++), nullptr, 10);
+            o.seed = parse_uint(i++);
         } else if (a == "--stats") {
             o.dump_stats = true;
         } else {
-            std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
-            usage(1);
+            die(a.c_str(), "unknown flag (see --help)");
         }
     }
     return o;
 }
 
-} // namespace
-
+/** The real driver; throws SimError for anything the simulator
+ *  rejects (unknown benchmark, bad config, injected fault, ...). */
 int
-main(int argc, char **argv)
+run(const CliOptions &o)
 {
-    const CliOptions o = parse(argc, argv);
+    // Honour the environment failure-model knobs for single runs too:
+    // CMPSIM_FAULT arms attempt 1 and CMPSIM_POINT_TIMEOUT bounds the
+    // whole warmup+run step, exactly as one parallel-runner task.
+    const RunPolicy policy = defaultRunPolicy();
+    FaultArmGuard arm(policy.faults, 1);
+    DeadlineGuard deadline(policy.point_timeout_sec);
 
     if (!o.record_path.empty()) {
         // Trace-capture mode: no simulation, just the stream.
@@ -164,6 +192,9 @@ main(int argc, char **argv)
     cfg.infinite_bandwidth = o.infinite_bw;
     cfg.adaptive_compression = o.adaptive_compression;
     cfg.seed = o.seed;
+    // Validate before the banner: "--scale 0" must die with a
+    // ConfigError, not divide the L2-size estimate by zero.
+    cfg.validate();
 
     std::printf("cmpsim: %s, %u cores, scale %u (L2 %u KB), "
                 "%.0f GB/s%s%s%s%s%s\n",
@@ -213,4 +244,23 @@ main(int argc, char **argv)
         std::fputs(os.str().c_str(), stdout);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions o = parse(argc, argv);
+    try {
+        return run(o);
+    } catch (const SimError &e) {
+        // what() is already "[kind] context: message" — one line,
+        // machine-grepable.
+        std::fprintf(stderr, "cmpsim: error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cmpsim: error: [internal] %s\n", e.what());
+        return 2;
+    }
 }

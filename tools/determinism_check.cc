@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/common/fingerprint.h"
+#include "src/common/sim_error.h"
 #include "src/core_api/cmp_system.h"
 #include "src/core_api/parallel_runner.h"
 #include "src/workload/workload_params.h"
@@ -115,17 +116,9 @@ checkParallelRunner(const std::vector<std::string> &workloads)
     return status;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(const std::vector<std::string> &workloads)
 {
-    std::vector<std::string> workloads;
-    for (int i = 1; i < argc; ++i)
-        workloads.push_back(argv[i]);
-    if (workloads.empty())
-        workloads = {"zeus", "apsi"}; // one commercial, one SPEComp
-
     int status = 0;
     for (const std::string &w : workloads) {
         const std::uint64_t first = runOnce(w);
@@ -145,4 +138,27 @@ main(int argc, char **argv)
     }
     status |= checkParallelRunner(workloads);
     return status;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workloads;
+    for (int i = 1; i < argc; ++i)
+        workloads.push_back(argv[i]);
+    if (workloads.empty())
+        workloads = {"zeus", "apsi"}; // one commercial, one SPEComp
+
+    try {
+        return run(workloads);
+    } catch (const cmpsim::SimError &e) {
+        std::fprintf(stderr, "determinism_check: error: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "determinism_check: error: [internal] %s\n",
+                     e.what());
+        return 1;
+    }
 }
