@@ -15,6 +15,8 @@
 #include "src/cache/l2_cache.h"
 #include "src/compression/fpc.h"
 #include "src/mem/priority_link.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 #include "src/prefetch/stride_prefetcher.h"
 #include "src/sim/event_queue.h"
 
@@ -249,6 +251,33 @@ BM_PriorityLinkSend(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PriorityLinkSend);
+
+// The observability probes live permanently in the hot paths; these
+// two pin down their disarmed cost (one relaxed atomic load plus a
+// predictable branch — compare against BM_EventQueueScheduleRun-level
+// numbers, not zero, since the loop itself isn't free).
+void
+BM_TraceProbeDisabled(benchmark::State &state)
+{
+    std::uint64_t cycle = 0;
+    for (auto _ : state) {
+        traceInstant("bench.probe", ++cycle,
+                     {{"line", std::uint64_t{0x1000}}});
+        benchmark::DoNotOptimize(cycle);
+    }
+}
+BENCHMARK(BM_TraceProbeDisabled);
+
+void
+BM_ProfScopeDisabled(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        CMPSIM_PROF_SCOPE("bench.prof_probe");
+        benchmark::DoNotOptimize(++sink);
+    }
+}
+BENCHMARK(BM_ProfScopeDisabled);
 
 void
 BM_L2FunctionalAccess(benchmark::State &state)

@@ -32,6 +32,7 @@ out=${1:-bench_output.txt}
 json=$(dirname "$out")/BENCH_results.json
 tmpdir=$(mktemp -d) || exit 1
 trap 'rm -rf "$tmpdir"' EXIT
+suite_t0=$(date +%s.%N)
 
 # Launch one bench binary, recording output, wall seconds and status.
 run_one() {
@@ -76,9 +77,17 @@ for b in "${benches[@]}"; do
   [ "$status" -eq 0 ] || overall=1
 done
 
+# Overall wall clock covers launch through concatenation — the number
+# a CI budget actually cares about, not the sum of per-bench times
+# (which double-counts under -j > 1).
+suite_t1=$(date +%s.%N)
+overall_secs=$(awk -v a="$suite_t0" -v b="$suite_t1" \
+  'BEGIN { printf "%.2f", b - a }')
+
 {
   echo "{"
   echo "  \"jobs\": $jobs,"
+  echo "  \"overall_wall_seconds\": $overall_secs,"
   if [ "$overall" -eq 0 ]; then
     echo "  \"status\": \"ok\","
   else

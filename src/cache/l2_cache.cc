@@ -4,6 +4,8 @@
 
 #include "src/audit/audits.h"
 #include "src/compression/bdi.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 #include "src/sim/fault_injection.h"
 
 namespace cmpsim {
@@ -155,6 +157,7 @@ void
 L2Cache::lookup(unsigned cpu, Addr line, bool exclusive, ReqType type,
                 Cycle when, Done done)
 {
+    CMPSIM_PROF_SCOPE("l2.lookup");
     DecoupledSet &set = sets_[setIndex(line)];
     TagEntry *e = set.find(line);
 
@@ -236,6 +239,8 @@ L2Cache::lookup(unsigned cpu, Addr line, bool exclusive, ReqType type,
         }
         ++pf_outstanding_[cpu];
         ++l2pf_issued_;
+        traceInstant("pf.issue", when,
+                     {{"line", line}, {"cpu", std::uint64_t{cpu}}});
     }
 
     Mshr m;
@@ -352,6 +357,7 @@ void
 L2Cache::fill(Addr line, Cycle arrival)
 {
     faultSite("l2.fill");
+    traceInstant("l2.fill", arrival, {{"line", line}});
     auto it = mshrs_.find(line);
     cmpsim_assert(it != mshrs_.end());
     Mshr m = std::move(it->second);
@@ -375,6 +381,11 @@ L2Cache::fill(Addr line, Cycle arrival)
             ++pf_fills_l2_;
         else
             ++pf_fills_l1_;
+        traceInstant("pf.fill", arrival,
+                     {{"line", line},
+                      {"source", entry.pf_source == PfSource::L2
+                                     ? "l2"
+                                     : "l1"}});
         if (miss_observer_) {
             miss_observer_(entry.pf_source == PfSource::L2
                                ? ReqType::L2Prefetch
@@ -448,6 +459,7 @@ L2Cache::handleVictim(const TagEntry &victim, Cycle when)
 
     if (victim.prefetch) {
         ++useless_pf_evicted_;
+        traceInstant("pf.useless", when, {{"line", victim.line}});
         if (adaptive_)
             adaptive_->onUselessPrefetch();
     }
@@ -522,6 +534,8 @@ bool
 L2Cache::accessFunctional(unsigned cpu, Addr line, bool exclusive,
                           ReqType type)
 {
+    // Inclusive time: recursive prefetch fills re-enter this scope.
+    CMPSIM_PROF_SCOPE("l2.functional");
     DecoupledSet &set = sets_[setIndex(line)];
     TagEntry *e = set.find(line);
 

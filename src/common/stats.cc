@@ -24,6 +24,18 @@ StatRegistry::registerAverage(const std::string &name, const Average *a)
         cmpsim_fatal("duplicate average registration: %s", name.c_str());
 }
 
+void
+StatRegistry::registerHistogram(const std::string &name,
+                                const Histogram *h)
+{
+    cmpsim_assert(h != nullptr);
+    auto [it, inserted] = histograms_.emplace(name, h);
+    (void)it;
+    if (!inserted)
+        cmpsim_fatal("duplicate histogram registration: %s",
+                     name.c_str());
+}
+
 std::uint64_t
 StatRegistry::counter(const std::string &name) const
 {
@@ -48,6 +60,27 @@ StatRegistry::hasCounter(const std::string &name) const
     return counters_.count(name) != 0;
 }
 
+const Histogram &
+StatRegistry::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        cmpsim_fatal("unknown histogram: %s", name.c_str());
+    return *it->second;
+}
+
+std::vector<std::string>
+StatRegistry::histogramNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(histograms_.size());
+    for (const auto &[name, stat] : histograms_) {
+        (void)stat;
+        names.push_back(name);
+    }
+    return names;
+}
+
 std::vector<std::string>
 StatRegistry::counterNames() const
 {
@@ -67,6 +100,14 @@ StatRegistry::dump(std::ostream &os) const
         os << name << " " << stat->value() << "\n";
     for (const auto &[name, stat] : averages_)
         os << name << " " << stat->mean() << "\n";
+    for (const auto &[name, stat] : histograms_) {
+        os << name << ".count " << stat->total() << "\n";
+        os << name << ".mean " << stat->mean() << "\n";
+        os << name << ".p50 " << stat->quantile(0.50) << "\n";
+        os << name << ".p90 " << stat->quantile(0.90) << "\n";
+        os << name << ".p99 " << stat->quantile(0.99) << "\n";
+        os << name << ".underflow " << stat->underflow() << "\n";
+    }
 }
 
 void
@@ -80,6 +121,30 @@ StatRegistry::resetAll()
         (void)name;
         const_cast<Average *>(stat)->reset();
     }
+    for (auto &[name, stat] : histograms_) {
+        (void)name;
+        const_cast<Histogram *>(stat)->reset();
+    }
+}
+
+double
+Histogram::quantile(double p) const
+{
+    cmpsim_assert(p >= 0.0 && p <= 1.0);
+    if (total_ == 0)
+        return 0.0;
+    // Rank of the target sample, 1-based; ceil(p * total) so p = 0.5
+    // of 2 samples resolves to the first.
+    const double target = p * static_cast<double>(total_);
+    std::uint64_t cum = underflow_;
+    if (static_cast<double>(cum) >= target && underflow_ > 0)
+        return 0.0; // negative samples report as "below 0"
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (static_cast<double>(cum) >= target)
+            return width_ * static_cast<double>(i + 1);
+    }
+    return width_ * static_cast<double>(counts_.size());
 }
 
 namespace {

@@ -79,7 +79,12 @@ class Average
     std::uint64_t count_ = 0;
 };
 
-/** Fixed-width-bucket histogram with overflow bucket. */
+/**
+ * Fixed-width-bucket histogram with overflow bucket (last bucket) and
+ * a dedicated underflow bucket for negative samples, so a negative
+ * latency (always a bug somewhere) is visible instead of being
+ * silently folded into bucket 0.
+ */
 class Histogram
 {
   public:
@@ -93,17 +98,23 @@ class Histogram
     void
     sample(double v)
     {
-        auto idx = v < 0 ? 0u : static_cast<unsigned>(v / width_);
-        if (idx >= counts_.size())
-            idx = static_cast<unsigned>(counts_.size()) - 1;
-        ++counts_[idx];
+        if (v < 0) {
+            ++underflow_;
+        } else {
+            auto idx = static_cast<unsigned>(v / width_);
+            if (idx >= counts_.size())
+                idx = static_cast<unsigned>(counts_.size()) - 1;
+            ++counts_[idx];
+        }
         sum_ += v;
         ++total_;
     }
 
     std::uint64_t bucket(unsigned i) const { return counts_.at(i); }
     unsigned buckets() const { return static_cast<unsigned>(counts_.size()); }
+    std::uint64_t underflow() const { return underflow_; }
     std::uint64_t total() const { return total_; }
+    double bucketWidth() const { return width_; }
 
     double
     mean() const
@@ -111,11 +122,20 @@ class Histogram
         return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
     }
 
+    /**
+     * Value below which fraction @p p (0..1) of the samples fall,
+     * resolved to the upper edge of the containing bucket (0 for the
+     * underflow bucket, +"inf" is clamped to the overflow bucket's
+     * lower edge + width). 0 when empty.
+     */
+    double quantile(double p) const;
+
     void
     reset()
     {
         for (auto &c : counts_)
             c = 0;
+        underflow_ = 0;
         sum_ = 0.0;
         total_ = 0;
     }
@@ -123,6 +143,7 @@ class Histogram
   private:
     double width_;
     std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
     double sum_ = 0.0;
     std::uint64_t total_ = 0;
 };
@@ -141,6 +162,7 @@ class StatRegistry
   public:
     void registerCounter(const std::string &name, const Counter *c);
     void registerAverage(const std::string &name, const Average *a);
+    void registerHistogram(const std::string &name, const Histogram *h);
 
     /** Value of a registered counter. Fatal if absent. */
     std::uint64_t counter(const std::string &name) const;
@@ -149,6 +171,12 @@ class StatRegistry
     double average(const std::string &name) const;
 
     bool hasCounter(const std::string &name) const;
+
+    /** A registered histogram. Fatal if absent. */
+    const Histogram &histogram(const std::string &name) const;
+
+    /** All registered histogram names, sorted. */
+    std::vector<std::string> histogramNames() const;
 
     /** All registered counter names, sorted. */
     std::vector<std::string> counterNames() const;
@@ -162,6 +190,7 @@ class StatRegistry
   private:
     std::map<std::string, const Counter *> counters_;
     std::map<std::string, const Average *> averages_;
+    std::map<std::string, const Histogram *> histograms_;
 };
 
 /** Summary of repeated-trial samples: mean and 95% CI half-width. */

@@ -6,6 +6,7 @@
 
 #include "src/audit/audits.h"
 #include "src/common/sim_error.h"
+#include "src/obs/trace.h"
 #include "src/sim/fault_injection.h"
 
 namespace cmpsim {
@@ -38,8 +39,34 @@ CmpSystem::CmpSystem(const SystemConfig &config,
         config_.watchdog_cycles =
             static_cast<Cycle>(std::strtoull(env, nullptr, 10));
     }
+    // And for interval time-series sampling: CMPSIM_SAMPLE_CYCLES
+    // sets the period (0 disables).
+    if (const char *env = std::getenv("CMPSIM_SAMPLE_CYCLES")) {
+        config_.sample_interval =
+            static_cast<Cycle>(std::strtoull(env, nullptr, 10));
+    }
     config_.validate();
     buildSystem();
+
+    if (config_.sample_interval > 0) {
+        IntervalSampler::Shape shape;
+        shape.cores = config_.cores;
+        shape.link_bytes_per_cycle =
+            config_.infinite_bandwidth
+                ? 0.0
+                : SystemConfig::bytesPerCycle(config_.pin_bandwidth_gbps);
+        sampler_ = std::make_unique<IntervalSampler>(
+            registry_, config_.sample_interval, shape);
+        sampler_->addGauge("l2_compression_ratio",
+                           [this] { return l2_->compressionRatio(); });
+        sampler_->addGauge("l2_adaptive_counter", [this] {
+            return l2_adaptive_ == nullptr
+                       ? 0.0
+                       : static_cast<double>(
+                             l2_adaptive_->counterValue());
+        });
+        sampler_->begin(eq_.now());
+    }
 }
 
 CmpSystem::~CmpSystem() = default;
@@ -181,11 +208,16 @@ CmpSystem::resetAllStats()
         l2_adaptive_->resetStats();
     }
     ratio_samples_.reset();
+    if (sampler_ != nullptr)
+        sampler_->onStatsReset(eq_.now());
 }
 
 void
 CmpSystem::warmup(std::uint64_t instr_per_core)
 {
+    Tracer *tracer = Tracer::armed();
+    const std::uint64_t t0 = tracer != nullptr ? tracer->nowWallUs() : 0;
+
     l2_->setFunctionalMode(true);
     std::uint64_t done = 0;
     while (done < instr_per_core) {
@@ -198,11 +230,40 @@ CmpSystem::warmup(std::uint64_t instr_per_core)
     }
     l2_->setFunctionalMode(false);
     resetAllStats();
+
+    if (tracer != nullptr) {
+        tracer->completeWall("phase.warmup", t0, tracer->nowWallUs(),
+                             {{"instr_per_core", instr_per_core}});
+    }
 }
+
+namespace {
+
+/** Counter tracks in the trace viewer for one sampler row. */
+void
+traceSampleRow(const IntervalSampler &sampler, const SampleRow &row)
+{
+    const DerivedMetrics m = sampler.derived(row);
+    traceCounter("obs.ipc", row.t1, {{"ipc", m.ipc_total}});
+    traceCounter("obs.miss_rates", row.t1,
+                 {{"l1d", m.l1d_miss_rate}, {"l2", m.l2_miss_rate}});
+    traceCounter("obs.link", row.t1,
+                 {{"bytes_per_cycle", m.link_bytes_per_cycle}});
+    if (!row.gauges.empty()) {
+        traceCounter("obs.compression_ratio", row.t1,
+                     {{"ratio", row.gauges[0]}});
+    }
+}
+
+} // namespace
 
 void
 CmpSystem::run(std::uint64_t instr_per_core)
 {
+    Tracer *tracer = Tracer::armed();
+    const std::uint64_t wall0 =
+        tracer != nullptr ? tracer->nowWallUs() : 0;
+
     const Cycle start = eq_.now();
     std::uint64_t start_retired = 0;
     for (auto &core : cores_)
@@ -215,6 +276,10 @@ CmpSystem::run(std::uint64_t instr_per_core)
     const Cycle audit_interval = config_.audit_interval;
     Cycle next_audit =
         audit_interval > 0 ? start + audit_interval : kCycleNever;
+    const Cycle obs_interval =
+        sampler_ != nullptr ? sampler_->interval() : 0;
+    Cycle next_obs =
+        obs_interval > 0 ? start + obs_interval : kCycleNever;
     std::uint64_t retired = start_retired;
 
     // Forward-progress watchdog: if no core retires an instruction for
@@ -255,6 +320,9 @@ CmpSystem::run(std::uint64_t instr_per_core)
             last_retired = retired;
             last_progress = now;
         } else if (watchdog > 0 && now - last_progress >= watchdog) {
+            traceInstant("watchdog.timeout", now,
+                         {{"stalled_cycles", now - last_progress},
+                          {"retired", retired}});
             throw WatchdogTimeout(
                 "cmp_system.run",
                 "no instruction retired in " + std::to_string(watchdog) +
@@ -269,13 +337,32 @@ CmpSystem::run(std::uint64_t instr_per_core)
             audits_.enforce();
             next_audit = now + audit_interval;
         }
+        if (now >= next_obs) {
+            sampler_->sampleAt(now);
+            if (traceEnabled() && !sampler_->rows().empty())
+                traceSampleRow(*sampler_, sampler_->rows().back());
+            next_obs = now + obs_interval;
+        }
     }
 
     ratio_samples_.sample(l2_->compressionRatio());
+    if (sampler_ != nullptr) {
+        // Flush the final partial interval so short runs still
+        // produce a non-empty time-series.
+        sampler_->sampleAt(now);
+        if (traceEnabled() && !sampler_->rows().empty())
+            traceSampleRow(*sampler_, sampler_->rows().back());
+    }
     if (audit_interval > 0)
         audits_.enforce(); // end-of-simulation audit
     measured_cycles_ = now - start;
     measured_instructions_ = retired - start_retired;
+
+    if (tracer != nullptr) {
+        tracer->completeWall("phase.measure", wall0, tracer->nowWallUs(),
+                             {{"instr_per_core", instr_per_core},
+                              {"cycles", measured_cycles_}});
+    }
 }
 
 std::string

@@ -25,6 +25,7 @@
 #include "src/audit/invariant_registry.h"
 #include "src/compression/fpc.h"
 #include "src/core_api/system_config.h"
+#include "src/obs/interval_sampler.h"
 #include "src/workload/synthetic_workload.h"
 
 namespace cmpsim {
@@ -98,6 +99,16 @@ class CmpSystem
     InvariantRegistry &audits() { return audits_; }
     const InvariantRegistry &audits() const { return audits_; }
 
+    /**
+     * The interval time-series sampler, or nullptr when
+     * config.sample_interval is 0 (the default). Created at
+     * construction when sampling is enabled (CMPSIM_SAMPLE_CYCLES
+     * overrides the config knob); run() feeds it every interval and
+     * flushes a final partial interval at end-of-run.
+     */
+    IntervalSampler *sampler() { return sampler_.get(); }
+    const IntervalSampler *sampler() const { return sampler_.get(); }
+
     /** Sum a per-core counter family ("l1d.<cpu>.<leaf>"). */
     std::uint64_t sumL1Counter(const char *side, const char *leaf) const;
 
@@ -130,6 +141,7 @@ class CmpSystem
     StatRegistry registry_;
     InvariantRegistry audits_;
     Average ratio_samples_;
+    std::unique_ptr<IntervalSampler> sampler_;
 
     Cycle measured_cycles_ = 0;
     std::uint64_t measured_instructions_ = 0;

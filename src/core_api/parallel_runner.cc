@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -12,6 +13,9 @@
 #include <unordered_map>
 
 #include "src/common/fingerprint.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/run_report.h"
+#include "src/obs/trace.h"
 #include "src/sim/thread_pool.h"
 
 namespace cmpsim {
@@ -46,6 +50,14 @@ defaultRunPolicy()
         policy.point_timeout_sec = v;
     }
     policy.faults = FaultPlan::fromEnv();
+    if (const char *env = std::getenv("CMPSIM_REPORT")) {
+        if (*env != '\0')
+            policy.report_path = env;
+    }
+    if (const char *env = std::getenv("CMPSIM_PROGRESS")) {
+        policy.progress = *env != '\0' &&
+                          !(env[0] == '0' && env[1] == '\0');
+    }
     return policy;
 }
 
@@ -223,12 +235,76 @@ aggregatePoint(MetricSummary &summary)
     summary.cycles = summarize(cycle_samples);
 }
 
+const char *
+pointStatusName(PointStatus s)
+{
+    switch (s) {
+    case PointStatus::Ok: return "ok";
+    case PointStatus::Restored: return "restored";
+    case PointStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+/** Batch JSON report (RunPolicy::report_path / CMPSIM_REPORT): the
+ *  per-point provenance a sweep harness archives — what ran, what was
+ *  restored, what failed and why, and what the batch cost. */
+void
+writeBatchReport(const std::string &path,
+                 const std::vector<PointSpec> &points,
+                 const BatchResult &batch,
+                 const std::vector<std::uint64_t> &fps,
+                 double wall_seconds)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+        throw ConfigError("report",
+                          "cannot open batch report file \"" + path +
+                              "\" for writing");
+    }
+    JsonWriter w(out);
+    w.beginObject();
+    w.keyValue("schema", "cmpsim.batch_report.v1");
+    w.keyValue("points", static_cast<std::uint64_t>(points.size()));
+    w.keyValue("failed", static_cast<std::uint64_t>(batch.failed()));
+    w.keyValue("restored",
+               static_cast<std::uint64_t>(batch.restored()));
+    w.beginArray("outcomes");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointOutcome &o = batch.outcomes[i];
+        const MetricSummary &s = batch.summaries[i];
+        w.beginObject();
+        w.keyValue("point", static_cast<std::uint64_t>(i));
+        w.keyValue("benchmark", points[i].benchmark);
+        w.keyValue("seeds",
+                   static_cast<std::uint64_t>(points[i].seeds));
+        w.keyValue("fingerprint", fps[i]);
+        w.keyValue("status", pointStatusName(o.status));
+        w.keyValue("attempts", static_cast<std::uint64_t>(o.attempts));
+        if (o.status == PointStatus::Failed) {
+            w.keyValue("error_kind", errorKindName(o.error_kind));
+            w.keyValue("error", o.error);
+        }
+        w.keyValue("cycles_mean", s.cycles.mean);
+        w.keyValue("cycles_ci95", s.cycles.ci95);
+        w.end();
+    }
+    w.end();
+    w.beginObject("telemetry");
+    w.keyValue("wall_seconds", wall_seconds);
+    w.keyValue("max_rss_kb", currentMaxRssKb());
+    w.end();
+    w.end();
+    out << "\n";
+}
+
 } // namespace
 
 BatchResult
 runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
                  const RunPolicy &policy)
 {
+    const auto batch_start = std::chrono::steady_clock::now();
     BatchResult batch;
     batch.summaries.resize(points.size());
     batch.outcomes.resize(points.size());
@@ -264,8 +340,21 @@ runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
         for (unsigned s = 0; s < points[i].seeds; ++s)
             tasks.push_back(Task{i, s});
     }
-    if (tasks.empty())
+    auto finishBatch = [&] {
+        if (policy.report_path.empty())
+            return;
+        const double wall_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - batch_start)
+                .count();
+        writeBatchReport(policy.report_path, points, batch, fps,
+                         wall_seconds);
+    };
+
+    if (tasks.empty()) {
+        finishBatch();
         return batch;
+    }
 
     if (jobs == 0)
         jobs = defaultJobs();
@@ -292,6 +381,9 @@ runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
     for (std::size_t t = 0; t < tasks.size(); ++t)
         round[t] = t;
 
+    const std::size_t total_tasks = tasks.size();
+    std::atomic<std::size_t> tasks_done{0};
+
     // Scope the pool so its destructor joins the workers even if
     // wait() rethrows (it shouldn't: tasks catch internally).
     ThreadPool pool(jobs);
@@ -299,10 +391,18 @@ runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
          attempt <= max_attempts && !round.empty(); ++attempt) {
         for (const std::size_t t : round) {
             pool.submit([&points, &policy, &batch, &failures, &tasks,
-                         &fps, &pending, &journal, t, attempt] {
+                         &fps, &pending, &journal, &tasks_done,
+                         total_tasks, t, attempt] {
                 const Task &task = tasks[t];
                 TaskFailure &slot = failures[t];
                 slot.failed = false;
+                // Each concurrent task traces onto its own (pid, tid)
+                // track so parallel points don't interleave.
+                TraceThreadScope trace_scope(
+                    kTraceSimPid, static_cast<unsigned>(t) + 1);
+                Tracer *tracer = Tracer::armed();
+                const std::uint64_t wall0 =
+                    tracer != nullptr ? tracer->nowWallUs() : 0;
                 try {
                     // Arm injection/deadline for exactly this attempt
                     // of this (point, seed) task.
@@ -318,25 +418,42 @@ runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
                     slot.failed = true;
                     slot.kind = e.kind();
                     slot.what = e.what();
-                    return;
                 } catch (const std::exception &e) {
                     slot.failed = true;
                     slot.kind = ErrorKind::Internal;
                     slot.what = e.what();
-                    return;
                 } catch (...) {
                     slot.failed = true;
                     slot.kind = ErrorKind::Internal;
                     slot.what = "non-standard exception";
-                    return;
                 }
-                if (pending[task.point].fetch_sub(1) == 1) {
+                if (!slot.failed &&
+                    pending[task.point].fetch_sub(1) == 1) {
                     aggregatePoint(batch.summaries[task.point]);
                     if (journal) {
                         journal->append(
                             fps[task.point],
                             summaryBytes(batch.summaries[task.point]));
                     }
+                }
+                const char *result = slot.failed ? "failed" : "ok";
+                if (tracer != nullptr) {
+                    tracer->completeWall(
+                        "point.task", wall0, tracer->nowWallUs(),
+                        {{"point", std::uint64_t{task.point}},
+                         {"seed", std::uint64_t{task.seed_idx + 1}},
+                         {"attempt", std::uint64_t{attempt}},
+                         {"status", result}});
+                }
+                const std::size_t done =
+                    tasks_done.fetch_add(1) + 1;
+                if (policy.progress) {
+                    std::fprintf(
+                        stderr,
+                        "[cmpsim] %zu/%zu point %zu seed %u "
+                        "attempt %u: %s\n",
+                        done, total_tasks, task.point,
+                        task.seed_idx + 1, attempt, result);
                 }
             });
         }
@@ -365,6 +482,7 @@ runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
         round = std::move(retry);
     }
 
+    finishBatch();
     return batch;
 }
 
@@ -508,7 +626,9 @@ pointSpecBytes(const PointSpec &spec)
     // Every knob that changes simulated behaviour. Excluded on
     // purpose: seed (the runner assigns s+1 per task), audit_interval
     // / audit_fill_roundtrip / watchdog_cycles (observability only —
-    // they abort bad runs, never change good ones).
+    // they abort bad runs, never change good ones), and
+    // sample_interval (pure observation: the sampler only reads
+    // counters, so a sampled and an unsampled run are byte-identical).
     kv("cores", c.cores);
     kv("scale", c.scale);
     kv("cache_compression", c.cache_compression);

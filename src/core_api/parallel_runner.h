@@ -33,6 +33,8 @@
  *   CMPSIM_JOURNAL       journal file path (unset = no journal)
  *   CMPSIM_POINT_TIMEOUT per-point wall-clock deadline, seconds
  *   CMPSIM_FAULT         fault-injection plan (src/sim/fault_injection.h)
+ *   CMPSIM_REPORT        batch JSON report path (unset = no report)
+ *   CMPSIM_PROGRESS      "1" = per-task stderr progress lines
  */
 
 #ifndef CMPSIM_CORE_API_PARALLEL_RUNNER_H
@@ -108,6 +110,13 @@ struct RunPolicy
     double point_timeout_sec = 0.0;
     /** Deterministic fault-injection plan (empty = none). */
     FaultPlan faults;
+    /** Batch JSON report path ("" = no report): per-point provenance
+     *  (status, attempts, error kind, spec fingerprint, aggregate
+     *  cycles) plus batch wall-clock/heap telemetry (DESIGN.md §9). */
+    std::string report_path;
+    /** Emit one stderr progress line per finished (point, seed) task
+     *  — live visibility into long sweeps without polluting stdout. */
+    bool progress = false;
 };
 
 /** Policy from the environment: CMPSIM_RETRIES / CMPSIM_JOURNAL /

@@ -42,6 +42,8 @@ MainMemory::fetchLine(Addr line_addr, Cycle when, bool prefetch,
                        [this, when, done = std::move(done)](Cycle at) {
                            read_latency_.sample(
                                static_cast<double>(at - when));
+                           read_latency_hist_.sample(
+                               static_cast<double>(at - when));
                            done(at);
                        });
         });
@@ -67,6 +69,8 @@ MainMemory::registerStats(StatRegistry &reg, const std::string &prefix)
     reg.registerCounter(prefix + ".data_flits", &data_flits_);
     reg.registerCounter(prefix + ".header_flits", &header_flits_);
     reg.registerAverage(prefix + ".read_latency", &read_latency_);
+    reg.registerHistogram(prefix + ".read_latency_hist",
+                          &read_latency_hist_);
     link_.registerStats(reg, prefix + ".link");
 }
 
@@ -78,6 +82,7 @@ MainMemory::resetStats()
     data_flits_.reset();
     header_flits_.reset();
     read_latency_.reset();
+    read_latency_hist_.reset();
     link_.resetStats();
 }
 

@@ -93,6 +93,9 @@ class MainMemory
     Counter data_flits_;
     Counter header_flits_;
     Average read_latency_;
+    /** Read-latency distribution: 64 buckets of 50 cycles covers the
+     *  400-cycle DRAM floor through heavy link queuing. */
+    Histogram read_latency_hist_{50.0, 64};
 };
 
 } // namespace cmpsim

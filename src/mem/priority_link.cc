@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/sim/fault_injection.h"
 
 namespace cmpsim {
@@ -18,6 +19,13 @@ PriorityLink::send(unsigned bytes, LinkClass cls, Cycle ready,
                    Deliver deliver)
 {
     faultSite("link.transfer");
+    // Stamp with the current cycle, not `ready` (which may lie in the
+    // future), so the track's timestamps stay monotone.
+    traceInstant("link.transfer", eq_.now(),
+                 {{"bytes", std::uint64_t{bytes}},
+                  {"class", cls == LinkClass::Demand     ? "demand"
+                            : cls == LinkClass::Prefetch ? "prefetch"
+                                                         : "writeback"}});
     total_bytes_ += bytes;
     class_bytes_[static_cast<unsigned>(cls)] += bytes;
     ++transfers_;
@@ -29,6 +37,7 @@ PriorityLink::send(unsigned bytes, LinkClass cls, Cycle ready,
         const Cycle done =
             endOfTransfer(static_cast<double>(ready), bytes);
         queue_delay_.sample(0.0);
+        queue_delay_hist_.sample(0.0);
         if (deliver) {
             eq_.schedule(done, [deliver = std::move(deliver), done] {
                 deliver(done);
@@ -114,6 +123,7 @@ PriorityLink::pump()
     queue->erase(queue->begin() + static_cast<std::ptrdiff_t>(index));
 
     queue_delay_.sample(static_cast<double>(now - msg.ready));
+    queue_delay_hist_.sample(static_cast<double>(now - msg.ready));
 
     const double start =
         std::max(cursor_, static_cast<double>(now));
@@ -145,6 +155,8 @@ PriorityLink::registerStats(StatRegistry &reg, const std::string &prefix)
                         &class_bytes_[2]);
     reg.registerCounter(prefix + ".transfers", &transfers_);
     reg.registerAverage(prefix + ".queue_delay", &queue_delay_);
+    reg.registerHistogram(prefix + ".queue_delay_hist",
+                          &queue_delay_hist_);
 }
 
 void
@@ -155,6 +167,7 @@ PriorityLink::resetStats()
         c.reset();
     transfers_.reset();
     queue_delay_.reset();
+    queue_delay_hist_.reset();
     delivered_bytes_.reset();
     // Messages still queued or on the channel were requested before the
     // reset; remember them so byte conservation holds afterwards.

@@ -128,6 +128,10 @@ class PriorityLink
     std::uint64_t inflight_bytes_ = 0;
     std::uint64_t pending_at_reset_ = 0;
     Average queue_delay_;
+    /** Queue-delay distribution: 64 buckets of 10 cycles. The mean
+     *  alone hides the bimodal idle-link/saturated-link split the
+     *  paper's bandwidth sweep produces. */
+    Histogram queue_delay_hist_{10.0, 64};
 };
 
 } // namespace cmpsim

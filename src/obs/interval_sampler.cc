@@ -1,0 +1,229 @@
+#include "src/obs/interval_sampler.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/obs/json_writer.h"
+
+namespace cmpsim {
+
+namespace {
+
+/** "a/b" with 0/0 -> 0 (an idle interval is not an error). */
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+}
+
+} // namespace
+
+IntervalSampler::IntervalSampler(const StatRegistry &reg, Cycle interval,
+                                 const Shape &shape)
+    : reg_(reg), interval_(interval), shape_(shape),
+      names_(reg.counterNames())
+{
+    cmpsim_assert(interval_ > 0);
+}
+
+void
+IntervalSampler::addGauge(const std::string &name,
+                          std::function<double()> fn)
+{
+    cmpsim_assert(!began_); // gauge set must be fixed before sampling
+    gauge_names_.push_back(name);
+    gauge_fns_.push_back(std::move(fn));
+}
+
+void
+IntervalSampler::snapshotInto(std::vector<std::uint64_t> &out) const
+{
+    out.resize(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i)
+        out[i] = reg_.counter(names_[i]);
+}
+
+void
+IntervalSampler::begin(Cycle now)
+{
+    baseline_cycle_ = now;
+    snapshotInto(baseline_);
+    began_ = true;
+}
+
+void
+IntervalSampler::sampleAt(Cycle now)
+{
+    cmpsim_assert(began_);
+    if (now <= baseline_cycle_)
+        return; // empty interval: nothing can have changed
+
+    SampleRow row;
+    row.t0 = baseline_cycle_;
+    row.t1 = now;
+    row.counter_deltas.resize(names_.size());
+    std::vector<std::uint64_t> current;
+    snapshotInto(current);
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        // Counters are monotone between resets, and resets re-anchor
+        // via onStatsReset(); a wrapped delta here is a bug upstream.
+        cmpsim_assert(current[i] >= baseline_[i]);
+        row.counter_deltas[i] = current[i] - baseline_[i];
+    }
+    row.gauges.reserve(gauge_fns_.size());
+    for (const auto &fn : gauge_fns_)
+        row.gauges.push_back(fn());
+
+    baseline_cycle_ = now;
+    baseline_.swap(current);
+    rows_.push_back(std::move(row));
+}
+
+void
+IntervalSampler::onStatsReset(Cycle now)
+{
+    if (!began_)
+        return;
+    // Everything just went to zero; deltas accumulated so far in the
+    // open interval are lost by design (the reset marks a measurement
+    // boundary, e.g. warmup -> measure).
+    begin(now);
+}
+
+std::uint64_t
+IntervalSampler::counterDelta(const SampleRow &row,
+                              const std::string &name) const
+{
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            return row.counter_deltas.at(i);
+    }
+    return 0;
+}
+
+DerivedMetrics
+IntervalSampler::derived(const SampleRow &row) const
+{
+    DerivedMetrics m;
+    const Cycle span = row.t1 - row.t0;
+    if (span == 0)
+        return m;
+
+    std::uint64_t retired_total = 0;
+    std::uint64_t l1i_acc = 0, l1i_miss = 0;
+    std::uint64_t l1d_acc = 0, l1d_miss = 0;
+    m.ipc_core.resize(shape_.cores, 0.0);
+    for (unsigned c = 0; c < shape_.cores; ++c) {
+        const std::string idx = std::to_string(c);
+        const std::uint64_t retired =
+            counterDelta(row, "core." + idx + ".retired");
+        retired_total += retired;
+        m.ipc_core[c] =
+            static_cast<double>(retired) / static_cast<double>(span);
+        l1i_acc += counterDelta(row, "l1i." + idx + ".accesses");
+        l1i_miss += counterDelta(row, "l1i." + idx + ".misses");
+        l1d_acc += counterDelta(row, "l1d." + idx + ".accesses");
+        l1d_miss += counterDelta(row, "l1d." + idx + ".misses");
+    }
+    m.ipc_total =
+        static_cast<double>(retired_total) / static_cast<double>(span);
+    m.l1i_miss_rate = ratio(l1i_miss, l1i_acc);
+    m.l1d_miss_rate = ratio(l1d_miss, l1d_acc);
+    m.l2_miss_rate = ratio(counterDelta(row, "l2.demand_misses"),
+                           counterDelta(row, "l2.demand_accesses"));
+
+    const std::uint64_t link_bytes = counterDelta(row, "mem.link.bytes");
+    m.link_bytes_per_cycle =
+        static_cast<double>(link_bytes) / static_cast<double>(span);
+    if (shape_.link_bytes_per_cycle > 0.0)
+        m.link_utilization =
+            m.link_bytes_per_cycle / shape_.link_bytes_per_cycle;
+
+    m.l2pf_accuracy_pct =
+        100.0 * ratio(counterDelta(row, "l2.pf_hits_l2"),
+                      counterDelta(row, "l2.l2pf_issued"));
+    return m;
+}
+
+void
+IntervalSampler::writeCsv(std::ostream &os) const
+{
+    os << "cycle_start,cycle_end,ipc_total";
+    for (unsigned c = 0; c < shape_.cores; ++c)
+        os << ",ipc_core" << c;
+    os << ",l1i_miss_rate,l1d_miss_rate,l2_miss_rate"
+       << ",link_bytes_per_cycle,link_utilization,l2pf_accuracy_pct";
+    for (const auto &g : gauge_names_)
+        os << "," << g;
+    for (const auto &n : names_)
+        os << ",d_" << n;
+    os << "\n";
+
+    const auto flags = os.flags();
+    os.precision(6);
+    for (const SampleRow &row : rows_) {
+        const DerivedMetrics m = derived(row);
+        os << row.t0 << "," << row.t1 << "," << m.ipc_total;
+        for (double v : m.ipc_core)
+            os << "," << v;
+        os << "," << m.l1i_miss_rate << "," << m.l1d_miss_rate << ","
+           << m.l2_miss_rate << "," << m.link_bytes_per_cycle << ","
+           << m.link_utilization << "," << m.l2pf_accuracy_pct;
+        for (double v : row.gauges)
+            os << "," << v;
+        for (std::uint64_t v : row.counter_deltas)
+            os << "," << v;
+        os << "\n";
+    }
+    os.flags(flags);
+}
+
+void
+IntervalSampler::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.keyValue("interval_cycles", interval_);
+    w.keyValue("cores", static_cast<std::uint64_t>(shape_.cores));
+    w.beginArray("counter_names");
+    for (const auto &n : names_)
+        w.value(n);
+    w.end();
+    w.beginArray("gauge_names");
+    for (const auto &g : gauge_names_)
+        w.value(g);
+    w.end();
+    w.beginArray("rows");
+    for (const SampleRow &row : rows_) {
+        const DerivedMetrics m = derived(row);
+        w.beginObject();
+        w.keyValue("t0", row.t0);
+        w.keyValue("t1", row.t1);
+        w.keyValue("ipc_total", m.ipc_total);
+        w.beginArray("ipc_core");
+        for (double v : m.ipc_core)
+            w.value(v);
+        w.end();
+        w.keyValue("l1i_miss_rate", m.l1i_miss_rate);
+        w.keyValue("l1d_miss_rate", m.l1d_miss_rate);
+        w.keyValue("l2_miss_rate", m.l2_miss_rate);
+        w.keyValue("link_bytes_per_cycle", m.link_bytes_per_cycle);
+        w.keyValue("link_utilization", m.link_utilization);
+        w.keyValue("l2pf_accuracy_pct", m.l2pf_accuracy_pct);
+        w.beginArray("gauges");
+        for (double v : row.gauges)
+            w.value(v);
+        w.end();
+        w.beginArray("deltas");
+        for (std::uint64_t v : row.counter_deltas)
+            w.value(v);
+        w.end();
+        w.end();
+    }
+    w.end();
+    w.end();
+    os << "\n";
+}
+
+} // namespace cmpsim

@@ -35,6 +35,7 @@
 
 #include "src/common/log.h"
 #include "src/common/types.h"
+#include "src/obs/profiler.h"
 
 namespace cmpsim {
 
@@ -134,6 +135,11 @@ class EventQueue
     std::uint64_t
     runDue(Cycle limit)
     {
+        // One site for the whole pop+dispatch drain: cheap enough to
+        // stay on permanently (a relaxed load when profiling is off),
+        // and the run report's eq.dispatch line attributes kernel cost
+        // separately from component cost (e.g. l2.lookup).
+        CMPSIM_PROF_SCOPE("eq.dispatch");
         std::uint64_t executed = 0;
         // Events at the current cycle (heap leftovers and the FIFO)
         // are due only if now_ itself is within the limit — drain()

@@ -37,11 +37,12 @@ TEST(HistogramTest, BucketsAndOverflow)
     h.sample(15);
     h.sample(39);
     h.sample(100); // overflow
-    h.sample(-3);  // clamped to first bucket
-    EXPECT_EQ(h.bucket(0), 2u);
+    h.sample(-3);  // underflow bucket, not bucket 0
+    EXPECT_EQ(h.bucket(0), 1u);
     EXPECT_EQ(h.bucket(1), 2u);
     EXPECT_EQ(h.bucket(3), 1u);
     EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
     EXPECT_EQ(h.total(), 6u);
 }
 
@@ -51,6 +52,49 @@ TEST(HistogramTest, MeanTracksSamples)
     h.sample(2);
     h.sample(4);
     EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(HistogramTest, UnderflowCountsInMeanAndReset)
+{
+    Histogram h(1.0, 4);
+    h.sample(-2.0);
+    h.sample(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0); // negative sample still in the sum
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(HistogramTest, QuantileBucketUpperEdges)
+{
+    Histogram h(10.0, 4);
+    // 10 samples: 4 in [0,10), 4 in [10,20), 2 in [20,30).
+    for (int i = 0; i < 4; ++i)
+        h.sample(5);
+    for (int i = 0; i < 4; ++i)
+        h.sample(15);
+    h.sample(25);
+    h.sample(25);
+    EXPECT_DOUBLE_EQ(h.quantile(0.4), 10.0); // 4/10 within [0,10)
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.8), 20.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 30.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+}
+
+TEST(HistogramTest, QuantileEmptyAndUnderflow)
+{
+    Histogram h(10.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0); // empty
+    h.sample(-1);
+    h.sample(-1);
+    h.sample(5);
+    h.sample(5);
+    // p50 lands entirely in the underflow bucket -> reported as 0.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
 }
 
 TEST(StatRegistryTest, RegisterAndLookup)
@@ -89,6 +133,31 @@ TEST(StatRegistryTest, ResetAllZeroesCounters)
     reg.resetAll();
     EXPECT_EQ(c.value(), 0u);
     EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(StatRegistryTest, HistogramLookupDumpAndReset)
+{
+    StatRegistry reg;
+    Histogram h(10.0, 4);
+    reg.registerHistogram("l2.lat", &h);
+    h.sample(5);
+    h.sample(15);
+    EXPECT_EQ(&reg.histogram("l2.lat"), &h);
+    const auto names = reg.histogramNames();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "l2.lat");
+
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string dump = os.str();
+    EXPECT_NE(dump.find("l2.lat.count 2\n"), std::string::npos);
+    EXPECT_NE(dump.find("l2.lat.mean 10\n"), std::string::npos);
+    EXPECT_NE(dump.find("l2.lat.p50 10\n"), std::string::npos);
+    EXPECT_NE(dump.find("l2.lat.p99 20\n"), std::string::npos);
+    EXPECT_NE(dump.find("l2.lat.underflow 0\n"), std::string::npos);
+
+    reg.resetAll();
+    EXPECT_EQ(h.total(), 0u);
 }
 
 TEST(StatRegistryTest, CounterNamesSorted)

@@ -11,15 +11,21 @@
  * Run with --help for the full flag list.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 
+#include "src/common/fingerprint.h"
 #include "src/common/sim_error.h"
 #include "src/core_api/cmp_system.h"
 #include "src/core_api/parallel_runner.h"
+#include "src/obs/profiler.h"
+#include "src/obs/run_report.h"
+#include "src/obs/trace.h"
 #include "src/sim/fault_injection.h"
 #include "src/workload/trace.h"
 
@@ -54,6 +60,10 @@ struct CliOptions
     std::uint64_t measure = 50000;
     std::uint64_t seed = 1;
     bool dump_stats = false;
+    std::string report_path;  ///< --report: JSON run report
+    std::string trace_path;   ///< --trace: Chrome trace events
+    std::string samples_path; ///< --samples: interval time-series
+    std::uint64_t sample_cycles = 0; ///< --sample-cycles period
 };
 
 [[noreturn]] void
@@ -84,6 +94,15 @@ usage(int code)
         "  --measure N         timed instr/core (default 50000)\n"
         "  --seed N            RNG seed (default 1)\n"
         "  --stats             dump every registered counter\n"
+        "  --report FILE       write a structured JSON run report\n"
+        "  --trace FILE        write Chrome trace events (load in\n"
+        "                      Perfetto / chrome://tracing); also\n"
+        "                      enabled by CMPSIM_TRACE=FILE\n"
+        "  --samples FILE      write the interval time-series (CSV,\n"
+        "                      or JSON when FILE ends in .json)\n"
+        "  --sample-cycles N   sampling period (default 100000 when\n"
+        "                      --samples is given; also\n"
+        "                      CMPSIM_SAMPLE_CYCLES)\n"
         "  --help\n");
     std::exit(code);
 }
@@ -152,6 +171,14 @@ parse(int argc, char **argv)
             o.seed = parse_uint(i++);
         } else if (a == "--stats") {
             o.dump_stats = true;
+        } else if (a == "--report") {
+            o.report_path = need_value(i++);
+        } else if (a == "--trace") {
+            o.trace_path = need_value(i++);
+        } else if (a == "--samples") {
+            o.samples_path = need_value(i++);
+        } else if (a == "--sample-cycles") {
+            o.sample_cycles = parse_uint(i++);
         } else {
             die(a.c_str(), "unknown flag (see --help)");
         }
@@ -192,9 +219,19 @@ run(const CliOptions &o)
     cfg.infinite_bandwidth = o.infinite_bw;
     cfg.adaptive_compression = o.adaptive_compression;
     cfg.seed = o.seed;
+    cfg.sample_interval = o.sample_cycles;
+    if (!o.samples_path.empty() && cfg.sample_interval == 0 &&
+        std::getenv("CMPSIM_SAMPLE_CYCLES") == nullptr)
+        cfg.sample_interval = 100000; // --samples implies sampling
     // Validate before the banner: "--scale 0" must die with a
     // ConfigError, not divide the L2-size estimate by zero.
     cfg.validate();
+
+    // Observability session: the tracer arms process-wide probes
+    // (--trace overrides CMPSIM_TRACE); CMPSIM_PROF=1 turns the
+    // scoped timers on, reported in the --report JSON.
+    profInitFromEnv();
+    TraceSession trace_session(o.trace_path);
 
     std::printf("cmpsim: %s, %u cores, scale %u (L2 %u KB), "
                 "%.0f GB/s%s%s%s%s%s\n",
@@ -206,9 +243,58 @@ run(const CliOptions &o)
                 o.prefetch ? ", prefetch" : "",
                 o.adaptive ? " (adaptive)" : "");
 
+    RunReport report;
+    report.benchmark = o.workload;
+    report.seed = o.seed;
+    report.warmup_per_core = o.warmup;
+    report.measure_per_core = o.measure;
+    {
+        PointSpec spec;
+        spec.config = cfg;
+        spec.benchmark = o.workload;
+        spec.lengths.warmup_per_core = o.warmup;
+        spec.lengths.measure_per_core = o.measure;
+        spec.seeds = 1;
+        report.config_fingerprint = fnv1a(pointSpecBytes(spec));
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
+    auto writeReport = [&](CmpSystem &system) {
+        if (o.report_path.empty())
+            return;
+        report.wall_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        report.max_rss_kb = currentMaxRssKb();
+        report.prof = profSnapshot();
+        captureStats(system.stats(), report);
+        std::ofstream out(o.report_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.is_open()) {
+            throw ConfigError("report",
+                              "cannot open report file \"" +
+                                  o.report_path + "\" for writing");
+        }
+        writeRunReport(out, report);
+    };
+
     CmpSystem sys(cfg, benchmarkParams(o.workload));
-    sys.warmup(o.warmup);
-    sys.run(o.measure);
+    try {
+        sys.warmup(o.warmup);
+        sys.run(o.measure);
+    } catch (const SimError &e) {
+        // A failed run still leaves a report: status, the error, and
+        // whatever stats the run accumulated before it died.
+        report.status = errorKindName(e.kind());
+        report.error = e.what();
+        writeReport(sys);
+        throw;
+    }
+    report.cycles = sys.cycles();
+    report.instructions = sys.instructions();
+    report.ipc = sys.ipc();
+    report.bandwidth_gbps = sys.bandwidthGBps();
+    report.compression_ratio = sys.compressionRatio();
 
     std::printf("\ncycles        %llu\n",
                 static_cast<unsigned long long>(sys.cycles()));
@@ -243,6 +329,42 @@ run(const CliOptions &o)
         reg.dump(os);
         std::fputs(os.str().c_str(), stdout);
     }
+
+    if (!o.samples_path.empty()) {
+        const IntervalSampler *sampler = sys.sampler();
+        if (sampler == nullptr) {
+            throw ConfigError("samples",
+                              "--samples needs a sampling interval "
+                              "(--sample-cycles or "
+                              "CMPSIM_SAMPLE_CYCLES)");
+        }
+        std::ofstream out(o.samples_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.is_open()) {
+            throw ConfigError("samples",
+                              "cannot open samples file \"" +
+                                  o.samples_path + "\" for writing");
+        }
+        const bool json =
+            o.samples_path.size() >= 5 &&
+            o.samples_path.compare(o.samples_path.size() - 5, 5,
+                                   ".json") == 0;
+        if (json)
+            sampler->writeJson(out);
+        else
+            sampler->writeCsv(out);
+        std::printf("samples       %zu intervals -> %s\n",
+                    sampler->rows().size(), o.samples_path.c_str());
+    }
+
+    writeReport(sys);
+    if (!o.report_path.empty())
+        std::printf("run report    %s\n", o.report_path.c_str());
+    if (trace_session.tracer() != nullptr)
+        std::printf("trace         %llu events -> %s\n",
+                    static_cast<unsigned long long>(
+                        trace_session.tracer()->eventsWritten()),
+                    trace_session.tracer()->path().c_str());
     return 0;
 }
 

@@ -35,6 +35,7 @@
 #include "src/common/sim_error.h"
 #include "src/core_api/cmp_system.h"
 #include "src/core_api/parallel_runner.h"
+#include "src/obs/trace.h"
 #include "src/workload/workload_params.h"
 
 namespace {
@@ -152,6 +153,10 @@ main(int argc, char **argv)
         workloads = {"zeus", "apsi"}; // one commercial, one SPEComp
 
     try {
+        // CI's traced gate sets CMPSIM_TRACE (and CMPSIM_SAMPLE_CYCLES):
+        // the hashes must reproduce with the observability probes live,
+        // proving they only read simulator state.
+        cmpsim::TraceSession trace_session;
         return run(workloads);
     } catch (const cmpsim::SimError &e) {
         std::fprintf(stderr, "determinism_check: error: %s\n", e.what());
