@@ -6,6 +6,7 @@
 
 #include "src/audit/audits.h"
 #include "src/common/sim_error.h"
+#include "src/dram/dram_backend.h"
 #include "src/obs/trace.h"
 #include "src/sim/fault_injection.h"
 
@@ -65,6 +66,13 @@ CmpSystem::CmpSystem(const SystemConfig &config,
                        : static_cast<double>(
                              l2_adaptive_->counterValue());
         });
+        // Registered only when the banked backend is armed so the
+        // fixed-path sample rows stay byte-identical to older runs.
+        if (memory_->dram() != nullptr) {
+            sampler_->addGauge("dram_row_hit_rate", [this] {
+                return memory_->dram()->rowHitRate();
+            });
+        }
         sampler_->begin(eq_.now());
     }
 }
@@ -176,6 +184,7 @@ CmpSystem::buildSystem()
     l2_->registerAudits(audits_, "l2");
     registerBandwidthResourceAudits(audits_, l2_->onchip(), "l2.onchip");
     registerPriorityLinkAudits(audits_, memory_->link(), "mem.link");
+    memory_->registerAudits(audits_, "mem");
     for (unsigned c = 0; c < config_.cores; ++c) {
         const std::string idx = std::to_string(c);
         l1i_[c]->registerAudits(audits_, "l1i." + idx);

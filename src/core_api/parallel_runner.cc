@@ -645,6 +645,30 @@ pointSpecBytes(const PointSpec &spec)
     kv("decompression_latency", c.decompression_latency);
     kv("adaptive_compression", c.adaptive_compression);
     kv("wide_compressed_sets", c.wide_compressed_sets);
+    // DRAM knobs are inert while the backend is Fixed, so they are
+    // appended only when armed: fixed-mode fingerprints — and every
+    // journal written before the banked backend existed — stay valid.
+    if (c.dram.backend != DramBackendKind::Fixed) {
+        const DramTimingParams &d = c.dram;
+        kv("dram.backend", static_cast<std::uint64_t>(d.backend));
+        kv("dram.channels", d.channels);
+        kv("dram.ranks", d.ranks);
+        kv("dram.banks", d.banks);
+        kv("dram.row_bytes", d.row_bytes);
+        kv("dram.trcd", d.trcd);
+        kv("dram.tcas", d.tcas);
+        kv("dram.trp", d.trp);
+        kv("dram.tras", d.tras);
+        kv("dram.burst_bytes", d.burst_bytes);
+        kv("dram.burst_cycles", d.burst_cycles);
+        kv("dram.ctrl_latency", d.ctrl_latency);
+        kv("dram.closed_page", d.closed_page);
+        kv("dram.sched", static_cast<std::uint64_t>(d.sched));
+        kv("dram.refresh_interval", d.refresh_interval);
+        kv("dram.refresh_cycles", d.refresh_cycles);
+        kv("dram.wq_high", d.write_high_watermark);
+        kv("dram.wq_low", d.write_low_watermark);
+    }
     out += "benchmark=" + spec.benchmark + "\n";
     kv("warmup_per_core", spec.lengths.warmup_per_core);
     kv("measure_per_core", spec.lengths.measure_per_core);

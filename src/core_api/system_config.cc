@@ -82,6 +82,10 @@ SystemConfig::validate() const
                        std::to_string(pin_bandwidth_gbps) + " GB/s");
         }
     }
+
+    // DRAM knobs must always be arm-able, whichever backend is
+    // selected (validateDramParams throws knob-named ConfigErrors).
+    validateDramParams(dram);
 }
 
 L1Params
@@ -135,6 +139,7 @@ SystemConfig::memoryParams() const
     p.link_bytes_per_cycle = bytesPerCycle(pin_bandwidth_gbps);
     p.infinite_bandwidth = infinite_bandwidth;
     p.link_compression = link_compression;
+    p.dram = dram;
     return p;
 }
 
@@ -175,6 +180,10 @@ makeConfig(unsigned cores, unsigned scale, bool cache_compression,
     c.prefetching = prefetching;
     c.adaptive_prefetch = adaptive;
     c.pin_bandwidth_gbps = pin_bandwidth_gbps;
+    // The CMPSIM_DRAM spec lands in the config itself (not applied at
+    // some later layer) so batch fingerprints and journal keys see
+    // the armed backend.
+    applyDramEnv(c.dram);
     return c;
 }
 

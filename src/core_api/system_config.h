@@ -80,6 +80,18 @@ struct SystemConfig
      *  paper text's ambiguous alternative geometry; see DESIGN.md). */
     bool wide_compressed_sets = false;
 
+    // ---- DRAM backend (DESIGN.md Section 10) ----
+
+    /**
+     * Memory backend behind the pin link: the paper-validated fixed
+     * 400-cycle latency (default — seed hashes depend on it) or the
+     * banked timing model with FR-FCFS scheduling, row-buffer state
+     * and compression-shortened bursts. makeConfig() applies the
+     * CMPSIM_DRAM environment spec ("banked:banks=16,sched=fcfs",
+     * see parseDramSpec) so every entry point can arm it.
+     */
+    DramTimingParams dram;
+
     // ---- invariant audits (DESIGN.md Section 6) ----
 
     /**

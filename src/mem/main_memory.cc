@@ -1,5 +1,7 @@
 #include "src/mem/main_memory.h"
 
+#include "src/dram/dram_backend.h"
+
 namespace cmpsim {
 
 MainMemory::MainMemory(EventQueue &eq, ValueStore &values,
@@ -7,7 +9,11 @@ MainMemory::MainMemory(EventQueue &eq, ValueStore &values,
     : eq_(eq), values_(values), params_(params),
       link_(eq, params.link_bytes_per_cycle, params.infinite_bandwidth)
 {
+    if (params_.dram.backend == DramBackendKind::Banked)
+        dram_ = std::make_unique<DramBackend>(eq, params_.dram);
 }
+
+MainMemory::~MainMemory() = default;
 
 unsigned
 MainMemory::dataSegments(Addr line_addr)
@@ -27,25 +33,38 @@ MainMemory::fetchLine(Addr line_addr, Cycle when, bool prefetch,
 
     // Request message toward memory, then DRAM, then the data message
     // back. The data message enters the link queue only when DRAM has
-    // produced it.
+    // produced it. Lines are stored in memory in the form the chip
+    // sent them (ECC meta-bit trick), so the banked backend's burst
+    // count follows the stored segment count.
     link_.send(
         kMessageHeaderBytes, cls, when,
         [this, line_addr, when, cls,
          done = std::move(done)](Cycle req_arrives) mutable {
-            const Cycle dram_done = req_arrives + params_.dram_latency;
             const unsigned segments = dataSegments(line_addr);
-            ++header_flits_;
-            data_flits_ += segments;
-            const unsigned bytes =
-                kMessageHeaderBytes + segments * kSegmentBytes;
-            link_.send(bytes, cls, dram_done,
-                       [this, when, done = std::move(done)](Cycle at) {
-                           read_latency_.sample(
-                               static_cast<double>(at - when));
-                           read_latency_hist_.sample(
-                               static_cast<double>(at - when));
-                           done(at);
-                       });
+            auto send_data = [this, when, cls, segments,
+                              done = std::move(done)](
+                                 Cycle dram_done) mutable {
+                ++header_flits_;
+                data_flits_ += segments;
+                const unsigned bytes =
+                    kMessageHeaderBytes + segments * kSegmentBytes;
+                link_.send(bytes, cls, dram_done,
+                           [this, when,
+                            done = std::move(done)](Cycle at) {
+                               read_latency_.sample(
+                                   static_cast<double>(at - when));
+                               read_latency_hist_.sample(
+                                   static_cast<double>(at - when));
+                               done(at);
+                           });
+            };
+            if (dram_) {
+                dram_->read(line_addr, segments,
+                            cls == LinkClass::Prefetch, req_arrives,
+                            std::move(send_data));
+            } else {
+                send_data(req_arrives + params_.dram_latency);
+            }
         });
 }
 
@@ -58,7 +77,16 @@ MainMemory::writebackLine(Addr line_addr, Cycle when)
     data_flits_ += segments;
     const unsigned bytes =
         kMessageHeaderBytes + segments * kSegmentBytes;
-    link_.send(bytes, LinkClass::Writeback, when, nullptr);
+    // Fixed backend: writebacks vanish once across the link. Banked:
+    // they enter the controller's write queue on arrival and occupy
+    // bank/bus time when drained.
+    PriorityLink::Deliver deliver = nullptr;
+    if (dram_) {
+        deliver = [this, line_addr, segments](Cycle at) {
+            dram_->write(line_addr, segments, at);
+        };
+    }
+    link_.send(bytes, LinkClass::Writeback, when, std::move(deliver));
 }
 
 void
@@ -72,6 +100,16 @@ MainMemory::registerStats(StatRegistry &reg, const std::string &prefix)
     reg.registerHistogram(prefix + ".read_latency_hist",
                           &read_latency_hist_);
     link_.registerStats(reg, prefix + ".link");
+    if (dram_)
+        dram_->registerStats(reg, prefix + ".dram");
+}
+
+void
+MainMemory::registerAudits(InvariantRegistry &reg,
+                           const std::string &name)
+{
+    if (dram_)
+        dram_->registerAudits(reg, name + ".dram");
 }
 
 void
@@ -84,6 +122,8 @@ MainMemory::resetStats()
     read_latency_.reset();
     read_latency_hist_.reset();
     link_.resetStats();
+    if (dram_)
+        dram_->resetStats();
 }
 
 } // namespace cmpsim

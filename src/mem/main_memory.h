@@ -17,15 +17,20 @@
 #define CMPSIM_MEM_MAIN_MEMORY_H
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "src/common/stats.h"
 #include "src/common/types.h"
+#include "src/dram/dram_params.h"
 #include "src/mem/priority_link.h"
 #include "src/mem/value_store.h"
 #include "src/sim/event_queue.h"
 
 namespace cmpsim {
+
+class DramBackend;
+class InvariantRegistry;
 
 /** Configuration of the off-chip memory path. */
 struct MemoryParams
@@ -41,6 +46,10 @@ struct MemoryParams
 
     /** Compress data payloads on the link (paper's link compression). */
     bool link_compression = false;
+
+    /** Memory backend behind the link: the paper-validated fixed
+     *  dram_latency (default) or the banked timing model. */
+    DramTimingParams dram;
 };
 
 /** DRAM + controller + pin link. */
@@ -51,6 +60,7 @@ class MainMemory
 
     MainMemory(EventQueue &eq, ValueStore &values,
                const MemoryParams &params);
+    ~MainMemory();
 
     /**
      * Fetch the line at @p line_addr; @p done runs at the cycle the
@@ -69,12 +79,21 @@ class MainMemory
     const PriorityLink &link() const { return link_; }
     PriorityLink &link() { return link_; }
 
+    /** Banked DRAM backend, or nullptr on the fixed-latency path. */
+    DramBackend *dram() { return dram_.get(); }
+    const DramBackend *dram() const { return dram_.get(); }
+
     std::uint64_t reads() const { return reads_.value(); }
     std::uint64_t writebacks() const { return writebacks_.value(); }
     std::uint64_t dataFlits() const { return data_flits_.value(); }
     std::uint64_t headerFlits() const { return header_flits_.value(); }
 
     void registerStats(StatRegistry &reg, const std::string &prefix);
+
+    /** Register backend audits (no-op on the fixed path, which has no
+     *  outstanding-request state to conserve). */
+    void registerAudits(InvariantRegistry &reg, const std::string &name);
+
     void resetStats();
 
     const MemoryParams &params() const { return params_; }
@@ -87,6 +106,7 @@ class MainMemory
     ValueStore &values_;
     MemoryParams params_;
     PriorityLink link_;
+    std::unique_ptr<DramBackend> dram_; ///< null when backend == Fixed
 
     Counter reads_;
     Counter writebacks_;

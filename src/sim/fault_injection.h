@@ -29,7 +29,9 @@
  *
  * Known sites: l2.fill (L2Cache::fill), link.transfer
  * (PriorityLink::send), workload.gen (SyntheticWorkload construction),
- * core.stall (CoreModel::tick, stall kind only).
+ * core.stall (CoreModel::tick, stall kind only), dram.access
+ * (DramBackend::read — hit only when the banked backend is armed via
+ * CMPSIM_DRAM; contains/retries like l2.fill).
  *
  * The same file hosts the per-point wall-clock deadline
  * (CMPSIM_POINT_TIMEOUT): DeadlineGuard arms a thread-local deadline
