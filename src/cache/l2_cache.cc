@@ -769,6 +769,7 @@ L2Cache::registerAudits(InvariantRegistry &reg, const std::string &name)
             budget_sum += pf_outstanding_[c];
         }
         std::uint64_t l2pf_mshrs = 0;
+        // analyze-ok: unordered-iter integer count of matching entries; order cannot change the audit verdict
         for (const auto &[line, m] : mshrs_) {
             (void)line;
             l2pf_mshrs += m.pf_source == PfSource::L2 ? 1 : 0;

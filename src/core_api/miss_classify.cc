@@ -1,13 +1,37 @@
 #include "src/core_api/miss_classify.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace cmpsim {
+
+namespace {
+
+/** Keys of @p m in ascending address order. Hash-table iteration is
+ *  implementation-defined, so every floating-point accumulation below
+ *  walks this sorted view instead — FP addition is not associative,
+ *  and the classification fractions feed the run report verbatim. */
+std::vector<Addr>
+sortedKeys(const std::unordered_map<Addr, std::uint32_t> &m)
+{
+    std::vector<Addr> keys;
+    keys.reserve(m.size());
+    // analyze-ok: unordered-iter key collection is order-independent; the keys are sorted before any order-sensitive use
+    for (const auto &[line, count] : m) {
+        (void)count;
+        keys.push_back(line);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace
 
 std::uint64_t
 MissProfile::totalDemandMisses() const
 {
     std::uint64_t n = 0;
+    // analyze-ok: unordered-iter integer sum; addition over uint64 is associative and commutative, so order cannot change the result
     for (const auto &[line, count] : demand_) {
         (void)line;
         n += count;
@@ -19,6 +43,7 @@ std::uint64_t
 MissProfile::totalPrefetchFills() const
 {
     std::uint64_t n = 0;
+    // analyze-ok: unordered-iter integer sum; addition over uint64 is associative and commutative, so order cannot change the result
     for (const auto &[line, count] : prefetch_) {
         (void)line;
         n += count;
@@ -45,8 +70,8 @@ classifyMisses(const MissProfile &base,
     };
 
     double only_c = 0, only_p = 0, either = 0, unavoidable = 0;
-    for (const auto &[line, base_count] : base.demand()) {
-        const double b = static_cast<double>(base_count);
+    for (const Addr line : sortedKeys(base.demand())) {
+        const double b = count_in(base.demand(), line);
         const double avoided_c = std::max(
             0.0, b - count_in(with_compression.demand(), line));
         const double avoided_p = std::max(
@@ -66,8 +91,8 @@ classifyMisses(const MissProfile &base,
     // Prefetch classes: fills issued with prefetching alone vs with
     // compression added.
     double kept = 0, avoided = 0;
-    for (const auto &[line, p_count] : with_prefetching.prefetches()) {
-        const double p = static_cast<double>(p_count);
+    for (const Addr line : sortedKeys(with_prefetching.prefetches())) {
+        const double p = count_in(with_prefetching.prefetches(), line);
         const double cp = count_in(with_both.prefetches(), line);
         kept += std::min(p, cp);
         avoided += std::max(0.0, p - cp);

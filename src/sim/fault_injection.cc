@@ -21,12 +21,16 @@ struct ArmedFaults
     bool stall_latched = false;
 };
 
+// analyze-ok: shared-state fault arming is per-worker by design: each harness thread arms its own plan, so thread_local is the isolation, not a leak (DESIGN.md section 8)
 thread_local ArmedFaults *tl_armed = nullptr;
+// analyze-ok: shared-state per-worker watchdog flag, armed and read only by the owning harness thread
 thread_local bool tl_has_deadline = false;
 
 namespace {
 
+// analyze-ok: shared-state per-worker arming storage backing tl_armed; never shared across threads
 thread_local ArmedFaults tl_armed_storage;
+// analyze-ok: shared-state per-worker watchdog deadline; wall-clock is confined to the containment layer and never reaches simulated state
 thread_local std::chrono::steady_clock::time_point tl_deadline;
 
 /** Does @p spec apply to the armed task at all? */

@@ -1,0 +1,276 @@
+#include "tools/analyze/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace cmpsim::analyze {
+
+namespace {
+
+constexpr const char *kMarker = "analyze-ok:";
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Check-id charset: lowercase kebab-case, like the shipped ids.
+ *  Grammar examples in documentation comments (`<check-id>`, `...`)
+ *  fall outside it and are not collected as suppressions; a typo'd
+ *  but well-formed id still reaches the unknown-id validation in
+ *  runAnalysis(). */
+bool
+plausibleCheckId(const std::string &id)
+{
+    if (id.empty())
+        return false;
+    for (char c : id) {
+        if (!(std::islower(static_cast<unsigned char>(c)) ||
+              std::isdigit(static_cast<unsigned char>(c)) || c == '-'))
+            return false;
+    }
+    return true;
+}
+
+/** Parse an analyze-ok comment body into a Suppression, if present. */
+void
+collectSuppression(const std::string &comment, int line, SourceFile &out)
+{
+    const std::size_t at = comment.find(kMarker);
+    if (at == std::string::npos)
+        return;
+    const std::string body =
+        trim(comment.substr(at + std::string(kMarker).size()));
+    Suppression s;
+    s.line = line;
+    const std::size_t sp = body.find_first_of(" \t");
+    if (sp == std::string::npos) {
+        s.check_id = body;
+    } else {
+        s.check_id = body.substr(0, sp);
+        s.reason = trim(body.substr(sp + 1));
+    }
+    if (!plausibleCheckId(s.check_id))
+        return;
+    out.suppressions.push_back(std::move(s));
+}
+
+/** Multi-character operators, longest first within a leading char. */
+const char *const kOps[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "==", "!=", "<=",
+    ">=",  "&&",  "||",  "<<",  ">>",  "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "++",  "--",  ".*",
+};
+
+} // namespace
+
+bool
+SourceFile::under(const std::string &dir) const
+{
+    return path.size() > dir.size() && path.compare(0, dir.size(), dir) == 0 &&
+           path[dir.size()] == '/';
+}
+
+SourceFile
+lexSource(const std::string &path, const std::string &text)
+{
+    SourceFile out;
+    out.path = path;
+
+    const std::size_t n = text.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+            if (text[i] == '\n')
+                ++line;
+        }
+    };
+
+    while (i < n) {
+        const char c = text[i];
+
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+
+        // Line comment (may carry a suppression).
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            std::size_t end = text.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            collectSuppression(text.substr(i + 2, end - i - 2), line, out);
+            advance(end - i);
+            continue;
+        }
+
+        // Block comment: scan each contained line for suppressions so
+        // /* analyze-ok: ... */ works too.
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            std::size_t end = text.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            std::size_t seg = i + 2;
+            int seg_line = line;
+            while (seg < end) {
+                std::size_t nl = text.find('\n', seg);
+                if (nl == std::string::npos || nl > end)
+                    nl = end;
+                collectSuppression(text.substr(seg, nl - seg), seg_line,
+                                   out);
+                ++seg_line;
+                seg = nl + 1;
+            }
+            advance(end - i);
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < n && text[p] != '(' && delim.size() < 16)
+                delim.push_back(text[p++]);
+            const std::string close = ")" + delim + "\"";
+            std::size_t body = p < n ? p + 1 : n;
+            std::size_t end = text.find(close, body);
+            const int tok_line = line;
+            std::string contents;
+            if (end == std::string::npos) {
+                contents = text.substr(body);
+                end = n;
+            } else {
+                contents = text.substr(body, end - body);
+                end += close.size();
+            }
+            out.tokens.push_back({TokKind::String, contents, tok_line});
+            advance(end - i);
+            continue;
+        }
+
+        // String / char literal with escapes.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            const int tok_line = line;
+            std::size_t p = i + 1;
+            std::string contents;
+            while (p < n && text[p] != quote) {
+                if (text[p] == '\\' && p + 1 < n) {
+                    contents.push_back(text[p]);
+                    contents.push_back(text[p + 1]);
+                    p += 2;
+                } else {
+                    if (text[p] == '\n')
+                        break; // unterminated: stop at the line end
+                    contents.push_back(text[p]);
+                    ++p;
+                }
+            }
+            if (p < n && text[p] == quote)
+                ++p;
+            out.tokens.push_back(
+                {quote == '"' ? TokKind::String : TokKind::Char,
+                 std::move(contents), tok_line});
+            advance(p - i);
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            std::size_t p = i + 1;
+            while (p < n && isIdentChar(text[p]))
+                ++p;
+            out.tokens.push_back(
+                {TokKind::Ident, text.substr(i, p - i), line});
+            advance(p - i);
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t p = i + 1;
+            // Accept the superset: digits, hex letters, separators,
+            // exponent signs. Checkers never inspect number bodies.
+            while (p < n &&
+                   (isIdentChar(text[p]) || text[p] == '\'' ||
+                    text[p] == '.' ||
+                    ((text[p] == '+' || text[p] == '-') &&
+                     (text[p - 1] == 'e' || text[p - 1] == 'E' ||
+                      text[p - 1] == 'p' || text[p - 1] == 'P'))))
+                ++p;
+            out.tokens.push_back(
+                {TokKind::Number, text.substr(i, p - i), line});
+            advance(p - i);
+            continue;
+        }
+
+        // Preprocessor directives: skip to end of line (respecting
+        // continuations) so `#include <sys/time.h>` cannot fire the
+        // nondeterminism checker via the `time` path component.
+        if (c == '#') {
+            std::size_t p = i;
+            while (p < n) {
+                std::size_t nl = text.find('\n', p);
+                if (nl == std::string::npos) {
+                    p = n;
+                    break;
+                }
+                std::size_t back = nl;
+                while (back > p &&
+                       std::isspace(static_cast<unsigned char>(
+                           text[back - 1])) &&
+                       text[back - 1] != '\n')
+                    --back;
+                if (back > p && text[back - 1] == '\\') {
+                    p = nl + 1; // continued directive
+                } else {
+                    p = nl;
+                    break;
+                }
+            }
+            advance(p - i);
+            continue;
+        }
+
+        // Multi-char operator?
+        bool matched = false;
+        for (const char *op : kOps) {
+            const std::size_t len = std::char_traits<char>::length(op);
+            if (i + len <= n && text.compare(i, len, op) == 0) {
+                out.tokens.push_back({TokKind::Punct, op, line});
+                advance(len);
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+
+        out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+        advance(1);
+    }
+
+    return out;
+}
+
+} // namespace cmpsim::analyze
