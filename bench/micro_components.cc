@@ -239,6 +239,42 @@ BM_EventQueueSameCycleCascade(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueSameCycleCascade);
 
+// Burst scheduling with and without pre-sized storage: the sharded
+// kernel reserves cores x ROB entries up front (see CmpSystem::
+// buildSystem), so the heap never reallocates mid-run. The batch is
+// drained outside the reserve so growth cost recurs every iteration
+// in the no-reserve variant.
+void
+BM_EventQueueBurstNoReserve(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (int i = 0; i < 512; ++i)
+            eq.schedule(static_cast<Cycle>(1 + (i % 7)),
+                        [&sink] { ++sink; });
+        eq.drain();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueBurstNoReserve);
+
+void
+BM_EventQueueBurstWithReserve(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        eq.reserve(512);
+        for (int i = 0; i < 512; ++i)
+            eq.schedule(static_cast<Cycle>(1 + (i % 7)),
+                        [&sink] { ++sink; });
+        eq.drain();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueBurstWithReserve);
+
 void
 BM_PriorityLinkSend(benchmark::State &state)
 {

@@ -87,6 +87,11 @@ overall_secs=$(awk -v a="$suite_t0" -v b="$suite_t1" \
 {
   echo "{"
   echo "  \"jobs\": $jobs,"
+  # Wall-clock numbers are only comparable across runs that used the
+  # same kernel sharding and simulation-worker counts, so record both
+  # knobs next to the timings ("" = unset, i.e. the defaults).
+  echo "  \"cmpsim_lanes\": \"${CMPSIM_LANES:-}\","
+  echo "  \"cmpsim_jobs\": \"${CMPSIM_JOBS:-}\","
   echo "  \"overall_wall_seconds\": $overall_secs,"
   if [ "$overall" -eq 0 ]; then
     echo "  \"status\": \"ok\","

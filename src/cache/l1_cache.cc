@@ -1,8 +1,10 @@
 #include "src/cache/l1_cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/audit/audits.h"
+#include "src/sim/lane.h"
 
 namespace cmpsim {
 
@@ -66,8 +68,7 @@ L1Cache::access(Addr addr, bool is_write, Cycle when, Done done)
         if (!is_write || e->dirty) {
             // Plain hit (read, or write to an M line).
             ++hits_;
-            const Cycle at = when + params_.hit_latency;
-            eq_.schedule(at, [done = std::move(done), at] { done(at); });
+            scheduleDone(when + params_.hit_latency, std::move(done));
             return;
         }
         // Write to an S line: upgrade through the directory.
@@ -116,10 +117,7 @@ L1Cache::demandMiss(Addr line, bool is_write, bool upgrade, Cycle when,
     m.waiters.push_back(Waiter{is_write, std::move(done)});
     mshrs_.emplace(line, std::move(m));
 
-    l2_.request(cpu_, line, is_write, ReqType::Demand, when,
-                [this, line](Cycle at, bool excl, bool compressed) {
-                    fill(line, at, excl, compressed);
-                });
+    requestFromL2(line, is_write, ReqType::Demand, when);
 }
 
 void
@@ -139,9 +137,41 @@ L1Cache::prefetchLine(Addr line, Cycle when)
     Mshr m;
     m.prefetch_only = true;
     mshrs_.emplace(line, std::move(m));
-    l2_.request(cpu_, line, false, ReqType::L1Prefetch, when,
-                [this, line](Cycle at, bool excl, bool compressed) {
-                    fill(line, at, excl, compressed);
+    requestFromL2(line, false, ReqType::L1Prefetch, when);
+}
+
+void
+L1Cache::scheduleDone(Cycle at, Done done)
+{
+    if (LaneMailbox *lane = laneContext()) {
+        // Parallel lane tick: seq numbers are assigned from the shared
+        // counter at the barrier, in canonical core order.
+        lane->defer([this, at, done = std::move(done)]() mutable {
+            eq_.schedule(at, [done = std::move(done), at] { done(at); });
+        });
+        return;
+    }
+    eq_.schedule(at, [done = std::move(done), at] { done(at); });
+}
+
+void
+L1Cache::requestFromL2(Addr line, bool is_write, ReqType type, Cycle when)
+{
+    if (LaneMailbox *lane = laneContext()) {
+        // The MSHR entry is already booked (lane-local, safe); only the
+        // L2 side — bank queues, link bandwidth, the fill callback's
+        // event — is shared state and must wait for the barrier.
+        lane->defer([this, line, is_write, type, when] {
+            l2_.request(cpu_, line, is_write, type, when,
+                        [this, line](Cycle at, bool excl, bool comp) {
+                            fill(line, at, excl, comp);
+                        });
+        });
+        return;
+    }
+    l2_.request(cpu_, line, is_write, type, when,
+                [this, line](Cycle at, bool excl, bool comp) {
+                    fill(line, at, excl, comp);
                 });
 }
 
@@ -185,8 +215,10 @@ L1Cache::fill(Addr line, Cycle at, bool exclusive, bool was_compressed)
 
     for (Waiter &w : m.waiters) {
         // Completion happens at data arrival; schedule rather than
-        // call so the core sees a consistent event time.
-        eq_.schedule(at, [done = std::move(w.done), at] { done(at); });
+        // call so the core sees a consistent event time. Fills only
+        // run during the serial merged drain, so scheduleDone here is
+        // always the direct path.
+        scheduleDone(at, std::move(w.done));
     }
 }
 

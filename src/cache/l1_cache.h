@@ -156,6 +156,17 @@ class L1Cache
     void demandMiss(Addr line, bool is_write, bool upgrade, Cycle when,
                     Done done);
 
+    /** Schedule @p done at @p at — directly, or deferred through the
+     *  lane mailbox during a parallel lane tick (seq assignment must
+     *  happen in canonical core order at the barrier). */
+    void scheduleDone(Cycle at, Done done);
+
+    /** Issue the L2 request for @p line — directly, or deferred
+     *  through the lane mailbox (L2 reserves bank/bandwidth state
+     *  synchronously inside request()). */
+    void requestFromL2(Addr line, bool is_write, ReqType type,
+                       Cycle when);
+
     /** Response from the L2 for @p line. */
     void fill(Addr line, Cycle at, bool exclusive, bool was_compressed);
 

@@ -26,6 +26,7 @@
 #include "src/compression/fpc.h"
 #include "src/core_api/system_config.h"
 #include "src/obs/interval_sampler.h"
+#include "src/sim/lane.h"
 #include "src/workload/synthetic_workload.h"
 
 namespace cmpsim {
@@ -112,9 +113,36 @@ class CmpSystem
     /** Sum a per-core counter family ("l1d.<cpu>.<leaf>"). */
     std::uint64_t sumL1Counter(const char *side, const char *leaf) const;
 
+    /** Effective event-kernel lane count (config.lanes clamped to the
+     *  core count); 1 means the single-threaded kernel. */
+    unsigned
+    lanes() const
+    {
+        return lane_crew_ != nullptr ? lane_crew_->lanes() : 1;
+    }
+
+    /**
+     * Sharded-kernel statistics (per-lane quanta, barrier stalls,
+     * mailbox traffic). Deliberately a *separate* registry: stats()
+     * dumps feed determinism fingerprints that must stay byte-
+     * identical across lane counts, and lane bookkeeping is a
+     * property of the execution strategy, not the simulated machine.
+     * Empty when lanes() == 1.
+     */
+    StatRegistry &laneStats() { return lane_registry_; }
+    const StatRegistry &laneStats() const { return lane_registry_; }
+
   private:
     void buildSystem();
     void resetAllStats();
+    /** run() body for lanes() > 1: merged serial event drain plus
+     *  parallel lane ticks with barrier replay. */
+    void runSharded(std::uint64_t instr_per_core);
+    /** Earliest pending event cycle across the uncore and lane queues. */
+    Cycle nextPendingEventCycle() const;
+    /** Run every event with (when, seq) at or before @p limit in exact
+     *  global order across all queues, then sync every now() to it. */
+    void drainMergedTo(Cycle limit);
     /** One-line-per-item progress diagnostic for watchdog/deadlock
      *  reports: event-queue depth and horizon plus per-core state. */
     std::string runDiagnostic(Cycle now) const;
@@ -122,7 +150,14 @@ class CmpSystem
     SystemConfig config_;
     WorkloadParams workload_;
 
-    EventQueue eq_;
+    EventQueue eq_; ///< uncore queue (and the only queue at lanes=1)
+    /** Shared (when, seq) source across all queues at lanes > 1, so
+     *  the merged drain replays one global total order. */
+    std::uint64_t lane_seq_ = 0;
+    std::vector<std::unique_ptr<EventQueue>> lane_eqs_; ///< per lane
+    std::vector<unsigned> lane_of_core_;
+    std::unique_ptr<ThreadPool> lane_pool_; ///< destroyed after crew_
+    std::unique_ptr<LaneCrew> lane_crew_;
     FpcCompressor fpc_;
     std::unique_ptr<ValueStore> values_;
     std::unique_ptr<MainMemory> memory_;
@@ -139,6 +174,7 @@ class CmpSystem
     std::vector<std::unique_ptr<CoreModel>> cores_;
 
     StatRegistry registry_;
+    StatRegistry lane_registry_; ///< see laneStats()
     InvariantRegistry audits_;
     Average ratio_samples_;
     std::unique_ptr<IntervalSampler> sampler_;

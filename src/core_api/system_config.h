@@ -53,6 +53,23 @@ struct SystemConfig
     /** RNG seed (vary across runs for confidence intervals). */
     std::uint64_t seed = 1;
 
+    // ---- sharded event kernel (DESIGN.md Section 12) ----
+
+    /**
+     * Event-kernel lanes: 1 (the default) runs the single-threaded
+     * kernel unchanged; >1 partitions the cores (with their private
+     * L1s, prefetchers and instruction streams) into that many
+     * contiguous lane clusters ticked in parallel each quantum, with
+     * every shared-state emission deferred through per-lane mailboxes
+     * and replayed in canonical core order at the barrier — results
+     * are byte-identical at any lane count. Clamped to the core
+     * count at construction. The CMPSIM_LANES environment variable
+     * overrides this at CmpSystem construction. Like CMPSIM_JOBS,
+     * lanes change wall-clock but never results, so the knob is
+     * excluded from pointSpecBytes().
+     */
+    unsigned lanes = 1;
+
     // ---- ablation knobs (DESIGN.md Section 4) ----
 
     /** One L2 prefetcher shared by all cores instead of per-core. */

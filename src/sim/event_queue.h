@@ -45,8 +45,50 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    /**
+     * Exact (when, seq) identity of a pending event. When several
+     * queues share one sequence source (setSequenceSource), these keys
+     * form a single global total order across all of them — the
+     * sharded kernel's merged drain compares keys to replay exactly
+     * the order a single queue would have produced.
+     */
+    struct EventKey
+    {
+        Cycle when = 0;
+        std::uint64_t seq = 0;
+
+        bool
+        before(const EventKey &o) const
+        {
+            return when != o.when ? when < o.when : seq < o.seq;
+        }
+    };
+
     /** Current simulated cycle. */
     Cycle now() const { return now_; }
+
+    /**
+     * Pre-size the pending-event storage for @p events outstanding
+     * events so the heap never reallocates mid-run (the caller bounds
+     * in-flight continuations, e.g. cores x ROB entries).
+     */
+    void
+    reserve(std::size_t events)
+    {
+        heap_.reserve(events);
+        same_cycle_.reserve(events);
+    }
+
+    /**
+     * Draw sequence numbers from @p seq instead of the queue's own
+     * counter. The sharded kernel points every lane queue and the
+     * uncore queue at one shared counter, so (when, seq) stays a
+     * total order across queues. All scheduling must happen on one
+     * thread (the coordinator) — the counter is not atomic, by
+     * design: parallel lane ticks defer emissions into mailboxes
+     * precisely so that seq assignment stays deterministic.
+     */
+    void setSequenceSource(std::uint64_t *seq) { seq_src_ = seq; }
 
     /** Schedule @p cb at @p when. @pre when >= now(). */
     void
@@ -59,10 +101,10 @@ class EventQueue
         if (when == now_) {
             // Same-cycle continuation: newest seq by construction, so
             // FIFO append order is (when, seq) order.
-            same_cycle_.push_back(Event{when, next_seq_++, std::move(cb)});
+            same_cycle_.push_back(Event{when, (*seq_src_)++, std::move(cb)});
             return;
         }
-        heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+        heap_.push_back(Event{when, (*seq_src_)++, std::move(cb)});
         siftUp(heap_.size() - 1);
     }
 
@@ -85,6 +127,77 @@ class EventQueue
         if (same_head_ < same_cycle_.size())
             return now_;
         return heap_.empty() ? kCycleNever : heap_.front().when;
+    }
+
+    /**
+     * Exact key of the earliest pending event. @return false when the
+     * queue is empty. Unlike nextEventCycle() this compares the heap
+     * front against the FIFO head by full (when, seq) — during a
+     * merged drain another queue's event may have scheduled into this
+     * queue's heap *at* the current cycle, with a seq younger than the
+     * FIFO's entries.
+     */
+    bool
+    nextKey(EventKey &out) const
+    {
+        const bool fifo = same_head_ < same_cycle_.size();
+        if (!fifo && heap_.empty())
+            return false;
+        if (fifo && (heap_.empty() ||
+                     same_cycle_[same_head_].before(heap_.front()))) {
+            out = EventKey{same_cycle_[same_head_].when,
+                           same_cycle_[same_head_].seq};
+        } else {
+            out = EventKey{heap_.front().when, heap_.front().seq};
+        }
+        return true;
+    }
+
+    /**
+     * Pop and run the single earliest event (exact (when, seq) order
+     * across the heap and the FIFO), advancing now() to its cycle.
+     * The sharded kernel's merged drain calls this on whichever queue
+     * currently holds the global minimum. @pre !empty().
+     */
+    void
+    runOneEarliest()
+    {
+        cmpsim_assert(!empty(), "runOneEarliest on an empty queue");
+        const bool fifo = same_head_ < same_cycle_.size();
+        if (fifo && (heap_.empty() ||
+                     same_cycle_[same_head_].before(heap_.front()))) {
+            Event ev = std::move(same_cycle_[same_head_++]);
+            if (same_head_ == same_cycle_.size()) {
+                same_cycle_.clear();
+                same_head_ = 0;
+            }
+            now_ = ev.when;
+            ev.cb();
+            return;
+        }
+        Event ev = popHeap();
+        now_ = ev.when;
+        ev.cb();
+    }
+
+    /**
+     * Jump now() forward to @p when without running anything: the
+     * merged drain has already executed every event at or before it
+     * (possibly out of this queue's runDue() order, hence a separate
+     * entry point). @pre nothing due at or before @p when remains.
+     */
+    void
+    syncNow(Cycle when)
+    {
+        cmpsim_assert(when >= now_,
+                      "syncNow into the past: when=%llu now=%llu",
+                      static_cast<unsigned long long>(when),
+                      static_cast<unsigned long long>(now_));
+        cmpsim_assert(same_head_ == same_cycle_.size() &&
+                          (heap_.empty() || heap_.front().when > when),
+                      "syncNow(%llu) would skip a due event",
+                      static_cast<unsigned long long>(when));
+        now_ = when;
     }
 
     /**
@@ -224,7 +337,8 @@ class EventQueue
     std::vector<Event> same_cycle_; ///< FIFO of events at now()
     std::size_t same_head_ = 0;     ///< first unconsumed FIFO slot
     Cycle now_ = 0;
-    std::uint64_t next_seq_ = 0;
+    std::uint64_t own_seq_ = 0;     ///< default sequence counter
+    std::uint64_t *seq_src_ = &own_seq_; ///< see setSequenceSource()
 };
 
 } // namespace cmpsim

@@ -1,0 +1,142 @@
+#include "src/sim/lane.h"
+
+#include "src/common/log.h"
+
+namespace cmpsim {
+
+namespace {
+// Per-thread deferral slot: each lane worker (and the coordinator
+// while ticking lane 0) arms its own copy via LaneContextGuard around
+// its tick, so no thread ever reads another thread's value.
+// analyze-ok: shared-state thread_local by design — strictly per-thread, armed/cleared by RAII guard
+thread_local LaneMailbox *tl_lane = nullptr;
+} // namespace
+
+LaneMailbox *
+laneContext()
+{
+    return tl_lane;
+}
+
+LaneContextGuard::LaneContextGuard(LaneMailbox *lane) : prev_(tl_lane)
+{
+    tl_lane = lane;
+}
+
+LaneContextGuard::~LaneContextGuard()
+{
+    tl_lane = prev_;
+}
+
+LaneCrew::LaneCrew(ThreadPool &pool, unsigned lanes)
+    : work_(lanes), errors_(lanes), workers_(lanes - 1)
+{
+    cmpsim_assert(lanes >= 2, "LaneCrew needs at least two lanes");
+    cmpsim_assert(pool.threadCount() >= workers_,
+                  "pool has %u threads for %u lane workers",
+                  pool.threadCount(), workers_);
+    for (unsigned l = 0; l < lanes; ++l)
+        mailboxes_.push_back(std::make_unique<LaneMailbox>());
+    for (unsigned l = 1; l < lanes; ++l)
+        pool.submit([this, l] { workerLoop(l); });
+}
+
+LaneCrew::~LaneCrew()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_.notify_all();
+    // The worker tasks return once they observe stop_; the owning
+    // ThreadPool's destructor (or wait()) joins them afterwards.
+}
+
+void
+LaneCrew::setWork(unsigned lane, Work work)
+{
+    work_[lane] = std::move(work);
+}
+
+void
+LaneCrew::runQuantum(Cycle now)
+{
+    ++quanta_;
+    if (workers_ > 0) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            quantum_now_ = now;
+            done_count_ = 0;
+            ++generation_;
+        }
+        start_.notify_all();
+    }
+    {
+        LaneContextGuard ctx(mailboxes_[0].get());
+        work_[0](now);
+    }
+    if (workers_ > 0) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (done_count_ != workers_)
+            ++barrier_stalls_;
+        done_.wait(lock, [this] { return done_count_ == workers_; });
+    }
+    std::exception_ptr first;
+    for (std::exception_ptr &e : errors_) {
+        if (e != nullptr && first == nullptr)
+            first = e;
+        e = nullptr;
+    }
+    if (first != nullptr)
+        std::rethrow_exception(first);
+}
+
+void
+LaneCrew::flushAll()
+{
+    for (auto &m : mailboxes_)
+        m->flush();
+}
+
+void
+LaneCrew::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.registerCounter(prefix + ".quanta", &quanta_);
+    reg.registerCounter(prefix + ".barrier_stalls", &barrier_stalls_);
+    for (unsigned l = 0; l < lanes(); ++l) {
+        mailboxes_[l]->registerStats(reg,
+                                     prefix + "." + std::to_string(l));
+    }
+}
+
+void
+LaneCrew::workerLoop(unsigned lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Cycle now;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_.wait(lock, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            now = quantum_now_;
+        }
+        try {
+            LaneContextGuard ctx(mailboxes_[lane].get());
+            work_[lane](now);
+        } catch (...) {
+            errors_[lane] = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++done_count_;
+        }
+        done_.notify_one();
+    }
+}
+
+} // namespace cmpsim

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Sharded event kernel: lane mailboxes and the lane worker crew
+ * (DESIGN.md §12).
+ *
+ * The kernel partitions cores (with their private L1s, prefetchers and
+ * instruction streams) into lanes that tick concurrently inside each
+ * time quantum. Everything a lane would emit into shared state — event
+ * scheduling (which consumes the global (when, seq) counter), L2
+ * requests (which reserve bank/bandwidth resources synchronously) and
+ * value-store writes — is instead *deferred* into the lane's mailbox
+ * and replayed by the coordinator at the barrier, in lane order.
+ * Lanes own contiguous core blocks, so lane order == core order ==
+ * exactly the order the single-threaded kernel would have produced:
+ * results are byte-identical at any lane count.
+ *
+ * The mailbox also carries the lane's first-touch overlay: the set of
+ * value-store lines this lane created (or will create at flush) this
+ * quantum, so a second touch within the lane sees the line as present
+ * exactly like the sequential kernel would. A cross-lane same-cycle
+ * first touch is the one sequential behaviour the overlay cannot
+ * reproduce (the later core's RNG draws a value the sequential kernel
+ * would not have drawn); flush detects it (the line already exists at
+ * apply time), counts it, and the lane.value_overlay audit requires
+ * the count to be zero.
+ */
+
+#ifndef CMPSIM_SIM_LANE_H
+#define CMPSIM_SIM_LANE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/sim/thread_pool.h"
+
+namespace cmpsim {
+
+/**
+ * One lane's deferred-emission log plus its first-touch overlay.
+ * defer()/noteCreated() are called only by the lane's own thread
+ * during the parallel tick phase; flush() only by the coordinator at
+ * the barrier (the crew's condvar hand-off orders the two).
+ */
+class LaneMailbox
+{
+  public:
+    using Op = std::function<void()>;
+
+    /** Queue @p op for canonical-order replay at the barrier. */
+    void
+    defer(Op op)
+    {
+        ops_.push_back(std::move(op));
+        ++ops_enqueued_;
+    }
+
+    /** Record that this lane creates value-store @p line this quantum. */
+    void noteCreated(Addr line) { created_.insert(line); }
+
+    /** True when this lane already created @p line this quantum. */
+    bool
+    createdThisQuantum(Addr line) const
+    {
+        return created_.count(line) != 0;
+    }
+
+    /** Cross-lane same-cycle first-touch detected at flush time. */
+    void noteCollision() { ++collisions_; }
+
+    /**
+     * Replay every deferred op in append order (== this lane's core
+     * execution order), then clear the log and the overlay. Runs on
+     * the coordinator with no lane context armed, so replayed ops hit
+     * the real queues/stores directly.
+     */
+    void
+    flush()
+    {
+        // Index loop, and move the op out before running it: a
+        // replayed op may defer again (an L2 request path that
+        // re-enters a deferral site), growing — and possibly
+        // reallocating — ops_ mid-flush.
+        for (std::size_t i = 0; i < ops_.size(); ++i) {
+            Op op = std::move(ops_[i]);
+            op();
+            ++ops_drained_;
+        }
+        ops_.clear();
+        created_.clear();
+    }
+
+    std::size_t pendingOps() const { return ops_.size(); }
+    std::uint64_t opsEnqueued() const { return ops_enqueued_.value(); }
+    std::uint64_t opsDrained() const { return ops_drained_.value(); }
+    std::uint64_t collisions() const { return collisions_.value(); }
+
+    void
+    registerStats(StatRegistry &reg, const std::string &prefix)
+    {
+        reg.registerCounter(prefix + ".mailbox_ops", &ops_enqueued_);
+        reg.registerCounter(prefix + ".mailbox_drained", &ops_drained_);
+        reg.registerCounter(prefix + ".value_collisions", &collisions_);
+    }
+
+  private:
+    std::vector<Op> ops_;
+    std::unordered_set<Addr> created_; ///< lines created this quantum
+    Counter ops_enqueued_;
+    Counter ops_drained_;
+    Counter collisions_;
+};
+
+/**
+ * The mailbox the calling thread defers emissions into, or nullptr
+ * outside a parallel lane tick. Component code (L1 hit path, core
+ * store path, workload first touch) checks this at each shared-state
+ * emission site and defers when a lane context is armed.
+ */
+LaneMailbox *laneContext();
+
+/** Arms/clears the calling thread's lane context (RAII). */
+class LaneContextGuard
+{
+  public:
+    explicit LaneContextGuard(LaneMailbox *lane);
+    ~LaneContextGuard();
+
+    LaneContextGuard(const LaneContextGuard &) = delete;
+    LaneContextGuard &operator=(const LaneContextGuard &) = delete;
+
+  private:
+    LaneMailbox *prev_;
+};
+
+/**
+ * Lane worker crew: L-1 long-lived tasks on a ThreadPool plus the
+ * coordinator (which ticks lane 0 inline). runQuantum() releases every
+ * lane at one cycle, waits at the barrier, and rethrows the first
+ * worker exception; flushAll() then replays the mailboxes in lane
+ * order.
+ */
+class LaneCrew
+{
+  public:
+    using Work = std::function<void(Cycle)>;
+
+    /** @param pool must have at least @p lanes - 1 worker threads;
+     *  the crew parks one long-lived task per non-zero lane on it. */
+    LaneCrew(ThreadPool &pool, unsigned lanes);
+    ~LaneCrew();
+
+    LaneCrew(const LaneCrew &) = delete;
+    LaneCrew &operator=(const LaneCrew &) = delete;
+
+    unsigned
+    lanes() const
+    {
+        return static_cast<unsigned>(mailboxes_.size());
+    }
+
+    LaneMailbox &mailbox(unsigned lane) { return *mailboxes_[lane]; }
+
+    /** Set lane @p lane's per-quantum work (tick its due cores). Must
+     *  be called for every lane before the first runQuantum(). */
+    void setWork(unsigned lane, Work work);
+
+    /**
+     * Run one quantum at cycle @p now: every lane's work runs with its
+     * mailbox armed as the thread's lane context — lane 0 on the
+     * calling thread, the rest on the pool workers. Returns after all
+     * lanes finished (the conservative barrier); a worker exception is
+     * rethrown here on the coordinator.
+     */
+    void runQuantum(Cycle now);
+
+    /** Replay every lane's mailbox in lane order (canonical global
+     *  core order — lanes own contiguous core blocks). */
+    void flushAll();
+
+    void registerStats(StatRegistry &reg, const std::string &prefix);
+
+    std::uint64_t quantaRun() const { return quanta_.value(); }
+    std::uint64_t barrierStalls() const { return barrier_stalls_.value(); }
+
+  private:
+    void workerLoop(unsigned lane);
+
+    std::vector<std::unique_ptr<LaneMailbox>> mailboxes_;
+    std::vector<Work> work_;
+    std::vector<std::exception_ptr> errors_;
+    unsigned workers_ = 0;
+
+    std::mutex mutex_;
+    std::condition_variable start_;
+    std::condition_variable done_;
+    std::uint64_t generation_ = 0;
+    Cycle quantum_now_ = 0;
+    unsigned done_count_ = 0;
+    bool stop_ = false;
+
+    Counter quanta_;
+    Counter barrier_stalls_;
+};
+
+} // namespace cmpsim
+
+#endif // CMPSIM_SIM_LANE_H

@@ -2,12 +2,13 @@
  * @file
  * Fixed-size worker pool for fanning out independent simulations.
  *
- * The simulator itself is strictly single-threaded per CmpSystem (one
- * EventQueue, explicitly threaded Random); parallelism lives entirely
- * at the experiment layer, where every (config, workload, seed) point
- * is an independent pure function. A plain FIFO queue is therefore
- * enough — tasks are seconds-long simulations, so queue contention is
- * irrelevant and work stealing would buy nothing.
+ * Two users: the experiment layer fans independent (config, workload,
+ * seed) points out as one task each, and the sharded event kernel
+ * (src/sim/lane.h) parks one long-lived lane-worker task per extra
+ * lane on a dedicated pool. A plain FIFO queue is enough for both —
+ * experiment tasks are seconds-long simulations and lane workers
+ * never return until teardown, so queue contention is irrelevant and
+ * work stealing would buy nothing.
  */
 
 #ifndef CMPSIM_SIM_THREAD_POOL_H

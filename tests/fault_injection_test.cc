@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "src/common/fingerprint.h"
+#include "src/core_api/cmp_system.h"
 #include "src/core_api/parallel_runner.h"
+#include "src/workload/workload_params.h"
 
 namespace cmpsim {
 namespace {
@@ -150,6 +152,29 @@ TEST(FaultProbeTest, DeadlineGuardThrowsWatchdogTimeout)
         EXPECT_NE(std::string(e.what()).find("CMPSIM_POINT_TIMEOUT"),
                   std::string::npos)
             << e.what();
+    }
+}
+
+TEST(FaultProbeTest, LaneSyncFiresOnlyInShardedKernel)
+{
+    // The lane.sync site is probed by the sharded kernel's coordinator
+    // once per quantum, just before releasing the lanes.
+    const FaultPlan plan = FaultPlan::parse("lane.sync:5");
+    {
+        // lanes=1 dispatches to the single-threaded kernel, which has
+        // no barrier: the armed plan must be inert.
+        SystemConfig cfg = makeConfig(2, 8, false, false, false, false);
+        cfg.lanes = 1;
+        CmpSystem sys(cfg, benchmarkParams("zeus"));
+        FaultArmGuard arm(plan, /*attempt=*/1);
+        EXPECT_NO_THROW(sys.run(500));
+    }
+    {
+        SystemConfig cfg = makeConfig(2, 8, false, false, false, false);
+        cfg.lanes = 2;
+        CmpSystem sys(cfg, benchmarkParams("zeus"));
+        FaultArmGuard arm(plan, /*attempt=*/1);
+        EXPECT_THROW(sys.run(500), InjectedFault);
     }
 }
 

@@ -100,6 +100,13 @@ TEST(PointSpecBytesTest, FingerprintTracksBehaviouralKnobsOnly)
     changed = specs[0];
     changed.seeds = 3;
     EXPECT_NE(fnv1a(pointSpecBytes(changed)), base);
+
+    // The sharded kernel replays the sequential event order exactly,
+    // so lane count is an execution detail, not a behavioural knob:
+    // journal entries stay valid whatever CMPSIM_LANES says.
+    changed = specs[0];
+    changed.config.lanes = 8;
+    EXPECT_EQ(fnv1a(pointSpecBytes(changed)), base);
 }
 
 TEST(PointSpecBytesTest, DramKnobsFingerprintOnlyWhenBackendArmed)

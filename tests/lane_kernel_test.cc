@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Sharded event kernel (DESIGN.md §12): lane mailboxes, the lane
+ * worker crew, and the end-to-end byte-identical-determinism
+ * guarantee — the same (config, seed) must produce the same stats
+ * fingerprint at every lane count.
+ */
+
+#include "src/sim/lane.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/fingerprint.h"
+#include "src/common/sim_error.h"
+#include "src/core_api/cmp_system.h"
+#include "src/workload/workload_params.h"
+
+namespace cmpsim {
+namespace {
+
+// ---------------------------------------------------------------- //
+// LaneMailbox                                                      //
+// ---------------------------------------------------------------- //
+
+TEST(LaneMailboxTest, FlushRunsOpsInAppendOrder)
+{
+    LaneMailbox box;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        box.defer([&order, i] { order.push_back(i); });
+    EXPECT_EQ(box.pendingOps(), 8u);
+    EXPECT_EQ(box.opsEnqueued(), 8u);
+    EXPECT_EQ(box.opsDrained(), 0u);
+
+    box.flush();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(box.pendingOps(), 0u);
+    EXPECT_EQ(box.opsDrained(), 8u);
+}
+
+TEST(LaneMailboxTest, FlushHandlesOpsDeferredDuringFlush)
+{
+    // A replayed op may itself defer (an L2 request whose callback
+    // schedules): flush must run ops appended mid-flush too, in order.
+    LaneMailbox box;
+    std::vector<int> order;
+    box.defer([&] {
+        order.push_back(0);
+        box.defer([&] { order.push_back(2); });
+    });
+    box.defer([&] { order.push_back(1); });
+    box.flush();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(box.opsEnqueued(), box.opsDrained());
+    EXPECT_EQ(box.pendingOps(), 0u);
+}
+
+TEST(LaneMailboxTest, OverlayTracksCreatedLinesPerQuantum)
+{
+    LaneMailbox box;
+    EXPECT_FALSE(box.createdThisQuantum(0x1000));
+    box.noteCreated(0x1000);
+    EXPECT_TRUE(box.createdThisQuantum(0x1000));
+    EXPECT_FALSE(box.createdThisQuantum(0x2000));
+    box.flush(); // quantum barrier clears the overlay
+    EXPECT_FALSE(box.createdThisQuantum(0x1000));
+}
+
+TEST(LaneMailboxTest, CollisionCounterAccumulates)
+{
+    LaneMailbox box;
+    EXPECT_EQ(box.collisions(), 0u);
+    box.noteCollision();
+    box.noteCollision();
+    EXPECT_EQ(box.collisions(), 2u);
+}
+
+TEST(LaneMailboxTest, StatsRegisterUnderPrefix)
+{
+    LaneMailbox box;
+    StatRegistry reg;
+    box.registerStats(reg, "lane.0");
+    box.defer([] {});
+    box.flush();
+    EXPECT_EQ(reg.counter("lane.0.mailbox_ops"), 1u);
+    EXPECT_EQ(reg.counter("lane.0.mailbox_drained"), 1u);
+    EXPECT_EQ(reg.counter("lane.0.value_collisions"), 0u);
+}
+
+TEST(LaneMailboxTest, LaneContextGuardArmsAndRestores)
+{
+    EXPECT_EQ(laneContext(), nullptr);
+    LaneMailbox outer;
+    LaneMailbox inner;
+    {
+        LaneContextGuard g1(&outer);
+        EXPECT_EQ(laneContext(), &outer);
+        {
+            LaneContextGuard g2(&inner);
+            EXPECT_EQ(laneContext(), &inner);
+        }
+        EXPECT_EQ(laneContext(), &outer);
+    }
+    EXPECT_EQ(laneContext(), nullptr);
+}
+
+// ---------------------------------------------------------------- //
+// LaneCrew                                                         //
+// ---------------------------------------------------------------- //
+
+TEST(LaneCrewTest, RunsEveryLaneEachQuantumWithContextArmed)
+{
+    ThreadPool pool(3);
+    LaneCrew crew(pool, 4);
+    std::vector<int> ticks(4, 0);
+    std::vector<bool> armed(4, false);
+    for (unsigned l = 0; l < 4; ++l) {
+        crew.setWork(l, [&, l](Cycle now) {
+            EXPECT_EQ(now, 17u);
+            armed[l] = laneContext() == &crew.mailbox(l);
+            ++ticks[l];
+        });
+    }
+    crew.runQuantum(17);
+    crew.runQuantum(17);
+    for (unsigned l = 0; l < 4; ++l) {
+        EXPECT_EQ(ticks[l], 2) << "lane " << l;
+        EXPECT_TRUE(armed[l]) << "lane " << l;
+    }
+    EXPECT_EQ(crew.quantaRun(), 2u);
+}
+
+TEST(LaneCrewTest, FlushAllReplaysInLaneOrder)
+{
+    ThreadPool pool(2);
+    LaneCrew crew(pool, 3);
+    std::vector<unsigned> order;
+    for (unsigned l = 0; l < 3; ++l) {
+        crew.setWork(l, [&crew, &order, l](Cycle) {
+            // Two ops per lane, deferred through the armed context.
+            laneContext()->defer([&order, l] { order.push_back(l); });
+            crew.mailbox(l).defer([&order, l] { order.push_back(l); });
+        });
+    }
+    crew.runQuantum(1);
+    crew.flushAll();
+    EXPECT_EQ(order, (std::vector<unsigned>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(LaneCrewTest, WorkerExceptionRethrownAtBarrier)
+{
+    ThreadPool pool(1);
+    LaneCrew crew(pool, 2);
+    crew.setWork(0, [](Cycle) {});
+    crew.setWork(1, [](Cycle) {
+        throw std::runtime_error("lane boom");
+    });
+    EXPECT_THROW(crew.runQuantum(1), std::runtime_error);
+    // The crew must still be usable (and destructible) afterwards.
+    crew.setWork(1, [](Cycle) {});
+    EXPECT_NO_THROW(crew.runQuantum(2));
+}
+
+TEST(LaneCrewTest, StatsRegisterQuantaAndPerLaneMailboxes)
+{
+    ThreadPool pool(1);
+    LaneCrew crew(pool, 2);
+    StatRegistry reg;
+    crew.registerStats(reg, "lane");
+    crew.setWork(0, [](Cycle) {});
+    crew.setWork(1, [](Cycle) {
+        laneContext()->defer([] {});
+    });
+    crew.runQuantum(5);
+    crew.flushAll();
+    EXPECT_EQ(reg.counter("lane.quanta"), 1u);
+    EXPECT_EQ(reg.counter("lane.1.mailbox_ops"), 1u);
+    EXPECT_EQ(reg.counter("lane.1.mailbox_drained"), 1u);
+}
+
+// ---------------------------------------------------------------- //
+// End-to-end kernel                                                //
+// ---------------------------------------------------------------- //
+
+/** Small full-feature run; returns the determinism fingerprint. */
+std::uint64_t
+runFingerprint(const std::string &workload, unsigned lanes)
+{
+    SystemConfig cfg = makeConfig(/*cores=*/4, /*scale=*/8,
+                                  /*cache_compression=*/true,
+                                  /*link_compression=*/true,
+                                  /*prefetching=*/true,
+                                  /*adaptive=*/true);
+    cfg.seed = 7;
+    cfg.lanes = lanes;
+    cfg.audit_interval = 5000;
+    CmpSystem sys(cfg, benchmarkParams(workload));
+    sys.warmup(5000);
+    sys.run(2000);
+    std::ostringstream out;
+    sys.stats().dump(out);
+    out << "cycles " << sys.cycles() << "\n";
+    out << "instructions " << sys.instructions() << "\n";
+    return fnv1a(out.str());
+}
+
+TEST(LaneKernelTest, HashIdenticalAcrossLaneCounts)
+{
+    for (const char *wl : {"zeus", "apsi"}) {
+        const std::uint64_t base = runFingerprint(wl, 1);
+        for (unsigned lanes : {2u, 3u, 4u}) {
+            EXPECT_EQ(runFingerprint(wl, lanes), base)
+                << wl << " diverged at lanes=" << lanes;
+        }
+    }
+}
+
+TEST(LaneKernelTest, LanesClampedToCoreCount)
+{
+    SystemConfig cfg = makeConfig(2, 8, false, false, false, false);
+    cfg.lanes = 16;
+    CmpSystem sys(cfg, benchmarkParams("zeus"));
+    EXPECT_EQ(sys.lanes(), 2u);
+}
+
+TEST(LaneKernelTest, ZeroLanesRejected)
+{
+    SystemConfig cfg = makeConfig(2, 8, false, false, false, false);
+    cfg.lanes = 0;
+    EXPECT_THROW(CmpSystem(cfg, benchmarkParams("zeus")),
+                 ConfigError);
+}
+
+TEST(LaneKernelTest, LaneStatsLiveInSeparateRegistry)
+{
+    // Lane bookkeeping must never leak into stats(): the determinism
+    // fingerprint hashes the main registry's dump, which has to stay
+    // byte-identical across lane counts.
+    SystemConfig cfg = makeConfig(4, 8, false, false, false, false);
+    cfg.lanes = 2;
+    CmpSystem sys(cfg, benchmarkParams("zeus"));
+    sys.run(500);
+
+    std::ostringstream main_dump;
+    sys.stats().dump(main_dump);
+    EXPECT_EQ(main_dump.str().find("lane."), std::string::npos);
+
+    EXPECT_GT(sys.laneStats().counter("lane.quanta"), 0u);
+    EXPECT_EQ(sys.laneStats().counter("lane.0.value_collisions"), 0u);
+    EXPECT_EQ(sys.laneStats().counter("lane.1.value_collisions"), 0u);
+}
+
+TEST(LaneKernelTest, ConservationAuditsPassAfterRun)
+{
+    SystemConfig cfg = makeConfig(4, 8, true, true, true, true);
+    cfg.lanes = 4;
+    CmpSystem sys(cfg, benchmarkParams("apsi"));
+    sys.warmup(2000);
+    sys.run(1000);
+    EXPECT_NO_THROW(sys.audits().enforce());
+}
+
+TEST(LaneKernelTest, SingleLaneUsesUnshardedKernel)
+{
+    SystemConfig cfg = makeConfig(4, 8, false, false, false, false);
+    cfg.lanes = 1;
+    CmpSystem sys(cfg, benchmarkParams("zeus"));
+    EXPECT_EQ(sys.lanes(), 1u);
+    sys.run(500);
+    // No lane bookkeeping at all in the single-threaded kernel.
+    std::ostringstream lane_dump;
+    sys.laneStats().dump(lane_dump);
+    EXPECT_TRUE(lane_dump.str().empty());
+}
+
+} // namespace
+} // namespace cmpsim

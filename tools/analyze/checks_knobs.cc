@@ -45,6 +45,7 @@ configCoverage()
 {
     static const std::map<std::string, std::string> m = {
         {"CMPSIM_DRAM", "config.dram"},
+        {"CMPSIM_LANES", "config.lanes"},
     };
     return m;
 }

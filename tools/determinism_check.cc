@@ -15,7 +15,11 @@
  * compression, prefetching, adaptive throttling — with periodic
  * invariant audits and per-fill round-trip verification enabled.
  *
- * A second leg checks the parallel experiment runner: the same
+ * A second leg checks the sharded event kernel: the same run with
+ * config.lanes = 4 and 8 must hash identically to the single-threaded
+ * baseline (the CMPSIM_LANES invariance — see DESIGN.md Section 12).
+ *
+ * A third leg checks the parallel experiment runner: the same
  * workloads batched through runPoints() with 1 worker and again with
  * 4 must produce byte-identical metric summaries (the CMPSIM_JOBS
  * invariance every bench table now depends on).
@@ -42,9 +46,13 @@ namespace {
 
 using cmpsim::fnv1a;
 
-/** One full warmup + measured run; returns the stats fingerprint. */
+/**
+ * One full warmup + measured run; returns the stats fingerprint.
+ * @p lanes selects the event-kernel shard count (0 = leave the
+ * config's default, i.e. whatever CMPSIM_LANES says).
+ */
 std::uint64_t
-runOnce(const std::string &workload)
+runOnce(const std::string &workload, unsigned lanes = 0)
 {
     using namespace cmpsim;
     // Full feature set so every subsystem participates in the hash.
@@ -56,6 +64,8 @@ runOnce(const std::string &workload)
     cfg.seed = 12345;
     cfg.audit_interval = 10000;
     cfg.audit_fill_roundtrip = true;
+    if (lanes != 0)
+        cfg.lanes = lanes;
 
     CmpSystem sys(cfg, benchmarkParams(workload));
     sys.warmup(20000);
@@ -67,6 +77,38 @@ runOnce(const std::string &workload)
     out << "instructions " << sys.instructions() << "\n";
     out << "audit_passes " << sys.audits().passesRun() << "\n";
     return fnv1a(out.str());
+}
+
+/**
+ * Sharded-kernel leg: the same run with the event kernel split over
+ * 4 and 8 lanes must fingerprint identically to @p baseline (the
+ * single-threaded kernel's hash from the main leg). Returns 0 on
+ * success, 1 on any divergence.
+ */
+int
+checkLanes(const std::vector<std::string> &workloads,
+           const std::vector<std::uint64_t> &baseline)
+{
+    int status = 0;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const std::uint64_t h4 = runOnce(workloads[i], 4);
+        const std::uint64_t h8 = runOnce(workloads[i], 8);
+        if (h4 == baseline[i] && h8 == baseline[i]) {
+            std::printf("determinism_check: %-8s ok    %016llx "
+                        "(lanes 1 == 4 == 8)\n",
+                        workloads[i].c_str(),
+                        static_cast<unsigned long long>(baseline[i]));
+        } else {
+            std::printf("determinism_check: %-8s FAIL  %016llx vs "
+                        "%016llx (lanes 4) vs %016llx (lanes 8)\n",
+                        workloads[i].c_str(),
+                        static_cast<unsigned long long>(baseline[i]),
+                        static_cast<unsigned long long>(h4),
+                        static_cast<unsigned long long>(h8));
+            status = 1;
+        }
+    }
+    return status;
 }
 
 /**
@@ -121,9 +163,11 @@ int
 run(const std::vector<std::string> &workloads)
 {
     int status = 0;
+    std::vector<std::uint64_t> baseline;
     for (const std::string &w : workloads) {
         const std::uint64_t first = runOnce(w);
         const std::uint64_t second = runOnce(w);
+        baseline.push_back(first);
         if (first == second) {
             std::printf("determinism_check: %-8s ok    %016llx\n",
                         w.c_str(),
@@ -137,6 +181,7 @@ run(const std::vector<std::string> &workloads)
             status = 1;
         }
     }
+    status |= checkLanes(workloads, baseline);
     status |= checkParallelRunner(workloads);
     return status;
 }
