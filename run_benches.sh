@@ -34,6 +34,19 @@ tmpdir=$(mktemp -d) || exit 1
 trap 'rm -rf "$tmpdir"' EXIT
 suite_t0=$(date +%s.%N)
 
+# Exit status of a finished bench. A missing or corrupt .status file
+# (the bench was OOM-killed or SIGKILLed before reporting) must read
+# as a failure — defaulting it to 0 would let one dead bench vanish
+# behind the later successes and report the suite "ok".
+bench_status() {
+  local s
+  s=$(cat "$tmpdir/$1.status" 2>/dev/null)
+  case "$s" in
+    ''|*[!0-9]*) s=127 ;;
+  esac
+  echo "$s"
+}
+
 # Launch one bench binary, recording output, wall seconds and status.
 run_one() {
   local bin=$1 name
@@ -73,7 +86,7 @@ for b in "${benches[@]}"; do
   echo "##### $b #####" | tee -a "$out"
   tee -a "$out" < "$tmpdir/$name.out"
   echo | tee -a "$out"
-  status=$(cat "$tmpdir/$name.status")
+  status=$(bench_status "$name")
   [ "$status" -eq 0 ] || overall=1
 done
 
@@ -92,6 +105,11 @@ overall_secs=$(awk -v a="$suite_t0" -v b="$suite_t1" \
   # knobs next to the timings ("" = unset, i.e. the defaults).
   echo "  \"cmpsim_lanes\": \"${CMPSIM_LANES:-}\","
   echo "  \"cmpsim_jobs\": \"${CMPSIM_JOBS:-}\","
+  # Checkpoint knobs change what a run does at startup (restore) and
+  # add periodic autosave I/O to its wall clock, so a perf trajectory
+  # needs them recorded too.
+  echo "  \"cmpsim_ckpt\": \"${CMPSIM_CKPT:-}\","
+  echo "  \"cmpsim_restore\": \"${CMPSIM_RESTORE:-}\","
   echo "  \"overall_wall_seconds\": $overall_secs,"
   if [ "$overall" -eq 0 ]; then
     echo "  \"status\": \"ok\","
@@ -102,7 +120,7 @@ overall_secs=$(awk -v a="$suite_t0" -v b="$suite_t1" \
   sep=""
   for b in "${benches[@]}"; do
     name=$(basename "$b")
-    status=$(cat "$tmpdir/$name.status")
+    status=$(bench_status "$name")
     if [ "$status" -eq 0 ]; then word=ok; else word=failed; fi
     printf '%s    { "name": "%s", "status": "%s", "wall_seconds": %s, "exit_status": %s }' \
       "$sep" "$name" "$word" "$(cat "$tmpdir/$name.secs")" \

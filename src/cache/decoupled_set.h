@@ -115,6 +115,8 @@ class DecoupledSet
     int validStackDepth(Addr line) const;
 
   private:
+    friend class CheckpointCodec; // restores the tag stack wholesale
+
     /** Evict the LRU-most valid entry; returns it and leaves a victim
      *  tag at the LRU end of the stack. */
     TagEntry evictLruValid();

@@ -28,6 +28,7 @@
 #include "src/cache/decoupled_set.h"
 #include "src/cache/l2_cache.h"
 #include "src/cache/request_types.h"
+#include "src/ckpt/cont_tag.h"
 #include "src/common/stats.h"
 #include "src/prefetch/adaptive_controller.h"
 #include "src/prefetch/stride_prefetcher.h"
@@ -83,10 +84,13 @@ class L1Cache
     }
 
     /**
-     * Timed demand access (load, store, or instruction fetch).
+     * Timed demand access (load, store, or instruction fetch). The
+     * optional @p tag is @p done's serializable description for
+     * checkpointing (empty unless a checkpoint knob armed tagging).
      * @pre canAccept(addr).
      */
-    void access(Addr addr, bool is_write, Cycle when, Done done);
+    void access(Addr addr, bool is_write, Cycle when, Done done,
+                ckpt::Tag tag = {});
 
     /** Timed prefetch into this L1 (from its stride prefetcher). */
     void prefetchLine(Addr line, Cycle when);
@@ -132,11 +136,18 @@ class L1Cache
     /** Test hook. */
     const DecoupledSet &setAt(unsigned index) const { return sets_[index]; }
 
+    /** Stable identity used in checkpoint continuation tags
+     *  (2*cpu + data side); assigned by CmpSystem::buildSystem. */
+    void setCkptId(std::uint64_t id) { ckpt_id_ = id; }
+
   private:
+    friend class CheckpointCodec; // serializes sets_/mshrs_/counters
+
     struct Waiter
     {
         bool is_write;
         Done done;
+        ckpt::Tag tag; ///< serializable description of done
     };
 
     struct Mshr
@@ -154,12 +165,12 @@ class L1Cache
 
     /** Miss/upgrade path for a demand access. */
     void demandMiss(Addr line, bool is_write, bool upgrade, Cycle when,
-                    Done done);
+                    Done done, ckpt::Tag tag);
 
     /** Schedule @p done at @p at — directly, or deferred through the
      *  lane mailbox during a parallel lane tick (seq assignment must
      *  happen in canonical core order at the barrier). */
-    void scheduleDone(Cycle at, Done done);
+    void scheduleDone(Cycle at, Done done, ckpt::Tag tag);
 
     /** Issue the L2 request for @p line — directly, or deferred
      *  through the lane mailbox (L2 reserves bank/bandwidth state
@@ -182,6 +193,7 @@ class L1Cache
     L2Cache &l2_;
     unsigned cpu_;
     L1Params params_;
+    std::uint64_t ckpt_id_ = 0; ///< see setCkptId()
     std::vector<DecoupledSet> sets_;
     std::unordered_map<Addr, Mshr> mshrs_;
 

@@ -1,0 +1,61 @@
+#include "src/ckpt/cont_tag.h"
+
+#include <atomic>
+
+namespace cmpsim::ckpt {
+
+namespace {
+
+// Process-wide arming flag. Re-evaluated from the env at every
+// CmpSystem construction; the env knobs are process-global, so
+// concurrent runner threads always store the same value and relaxed
+// ordering suffices.
+std::atomic<bool> g_armed{false};
+
+thread_local bool t_restored = false;
+
+} // namespace
+
+bool
+armed()
+{
+    return g_armed.load(std::memory_order_relaxed);
+}
+
+void
+setArmed(bool on)
+{
+    g_armed.store(on, std::memory_order_relaxed);
+}
+
+Tag
+tag(std::uint16_t kind, std::uint64_t a, std::uint64_t b,
+    std::uint64_t c, std::uint64_t d, Tag inner)
+{
+    if (!armed())
+        return {};
+    auto f = std::make_shared<Frame>();
+    f->kind = kind;
+    f->a = a;
+    f->b = b;
+    f->c = c;
+    f->d = d;
+    f->inner = std::move(inner);
+    return f;
+}
+
+void
+noteRestored()
+{
+    t_restored = true;
+}
+
+bool
+consumeRestoredFlag()
+{
+    const bool was = t_restored;
+    t_restored = false;
+    return was;
+}
+
+} // namespace cmpsim::ckpt

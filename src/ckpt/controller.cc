@@ -1,0 +1,133 @@
+#include "src/ckpt/controller.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/ckpt/ckpt_io.h"
+#include "src/common/sim_error.h"
+#include "src/sim/fault_injection.h"
+
+namespace cmpsim::ckpt {
+
+namespace {
+
+/** Whole-file read; empty optional-style: throws CorruptCheckpoint
+ *  when the file cannot be opened (missing counts as damage so the
+ *  caller's .prev fallback engages — a SIGKILL between the two
+ *  renames of atomicSave leaves no current snapshot at all). */
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        throw CorruptCheckpoint("cannot open checkpoint " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        throw CorruptCheckpoint("read error on checkpoint " + path);
+    return std::move(buf).str();
+}
+
+} // namespace
+
+Settings
+Settings::parseCkptSpec(const std::string &spec)
+{
+    Settings s;
+    const std::string marker = ":every";
+    const auto pos = spec.rfind(marker);
+    if (pos == std::string::npos || pos == 0) {
+        throw ConfigError("config.ckpt",
+                          "CMPSIM_CKPT must be <path>:every<N>, got \"" +
+                              spec + "\"");
+    }
+    s.save_path = spec.substr(0, pos);
+    const std::string count = spec.substr(pos + marker.size());
+    if (count.empty() ||
+        count.find_first_not_of("0123456789") != std::string::npos) {
+        throw ConfigError("config.ckpt",
+                          "CMPSIM_CKPT interval must be a positive "
+                          "integer, got \"" +
+                              count + "\"");
+    }
+    s.every = std::strtoull(count.c_str(), nullptr, 10);
+    if (s.every == 0) {
+        throw ConfigError("config.ckpt",
+                          "CMPSIM_CKPT interval must be non-zero");
+    }
+    return s;
+}
+
+Settings
+Settings::fromEnv()
+{
+    Settings s;
+    if (const char *env = std::getenv("CMPSIM_CKPT");
+        env != nullptr && *env != '\0') {
+        s = parseCkptSpec(env);
+    }
+    if (const char *env = std::getenv("CMPSIM_RESTORE");
+        env != nullptr && *env != '\0') {
+        s.restore_path = env;
+    }
+    return s;
+}
+
+void
+atomicSave(const std::string &path, const std::string &bytes)
+{
+    faultSite("ckpt.save");
+    const std::string tmp = path + ".tmp";
+    const std::string prev = path + ".prev";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out.is_open()) {
+            throw SimError(ErrorKind::Internal, "ckpt.save",
+                           "cannot open " + tmp + " for writing");
+        }
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out.good()) {
+            throw SimError(ErrorKind::Internal, "ckpt.save",
+                           "write failed on " + tmp);
+        }
+    }
+    // Rotate: current snapshot becomes the fallback generation, then
+    // the fresh one takes its place. Each step is a single rename, so
+    // a kill at any point leaves a complete snapshot under at least
+    // one of the two names. The first rename's failure is ignored on
+    // purpose — there is nothing to rotate on the very first save.
+    std::rename(path.c_str(), prev.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        throw SimError(ErrorKind::Internal, "ckpt.save",
+                       "cannot rename " + tmp + " over " + path);
+    }
+}
+
+std::string
+loadWithFallback(const std::string &path)
+{
+    faultSite("ckpt.load");
+    try {
+        std::string bytes = readFile(path);
+        parseFile(bytes); // structural validation only
+        return bytes;
+    } catch (const CorruptCheckpoint &primary) {
+        const std::string prev = path + ".prev";
+        try {
+            std::string bytes = readFile(prev);
+            parseFile(bytes);
+            return bytes;
+        } catch (const CorruptCheckpoint &fallback) {
+            throw ConfigError(
+                "config.restore",
+                "no usable checkpoint: " + std::string(primary.what()) +
+                    "; " + fallback.what());
+        }
+    }
+}
+
+} // namespace cmpsim::ckpt

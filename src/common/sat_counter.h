@@ -49,6 +49,8 @@ class SatCounter
     void reset() { value_ = max_; }
 
   private:
+    friend class CheckpointCodec; // restores the counter value
+
     unsigned value_;
     unsigned max_;
 };

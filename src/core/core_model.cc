@@ -30,7 +30,8 @@ CoreModel::fetchAvailable(Addr pc, Cycle now)
         // prefetch bits and the I-prefetcher.
         ++ifetch_lines_;
         last_fetch_line_ = line;
-        icache_.access(line, false, now, [](Cycle) {});
+        icache_.access(line, false, now, [](Cycle) {},
+                       ckpt::tag(ckpt::kNoop));
         return true;
     }
 
@@ -43,10 +44,12 @@ CoreModel::fetchAvailable(Addr pc, Cycle now)
     ++ifetch_lines_;
     last_fetch_line_ = line;
     fetch_stall_until_ = kCycleNever; // resolved by the callback
-    icache_.access(line, false, now, [this](Cycle c) {
-        fetch_stall_until_ = c;
-        wake(c);
-    });
+    icache_.access(line, false, now,
+                   [this](Cycle c) {
+                       fetch_stall_until_ = c;
+                       wake(c);
+                   },
+                   ckpt::tag(ckpt::kCoreIFetch, cpu_));
     return false;
 }
 
@@ -87,7 +90,8 @@ CoreModel::dispatchOne(Cycle now)
             dcache_.access(in.addr, false, now,
                            [this, slot, id](Cycle c) {
                                finishLoad(slot, id, c, false);
-                           });
+                           },
+                           ckpt::tag(ckpt::kCoreLoad, cpu_, slot, id));
         }
         break;
       }
@@ -123,7 +127,8 @@ CoreModel::dispatchOne(Cycle now)
             issueChainHead(now);
         } else {
             dcache_.access(in.addr, true, now,
-                           [this](Cycle c) { wake(c); });
+                           [this](Cycle c) { wake(c); },
+                           ckpt::tag(ckpt::kCoreStoreWake, cpu_));
         }
         break;
       }
@@ -182,16 +187,20 @@ CoreModel::issueChainHead(Cycle now)
     chain_queue_.pop_front();
     chain_outstanding_ = true;
     if (a.is_write) {
-        dcache_.access(a.addr, true, now, [this](Cycle c) {
-            chain_outstanding_ = false;
-            wake(c);
-            issueChainHead(c);
-        });
+        dcache_.access(a.addr, true, now,
+                       [this](Cycle c) {
+                           chain_outstanding_ = false;
+                           wake(c);
+                           issueChainHead(c);
+                       },
+                       ckpt::tag(ckpt::kCoreChainStore, cpu_));
     } else {
         dcache_.access(a.addr, false, now,
                        [this, slot = a.slot, id = a.id](Cycle c) {
                            finishLoad(slot, id, c, true);
-                       });
+                       },
+                       ckpt::tag(ckpt::kCoreChainLoad, cpu_, a.slot,
+                                 a.id));
     }
 }
 

@@ -78,6 +78,8 @@ class CoreModel
     void resetStats();
 
   private:
+    friend class CheckpointCodec; // serializes ROB/chain/fetch state
+
     struct RobEntry
     {
         InstrType type = InstrType::Alu;

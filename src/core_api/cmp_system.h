@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/audit/invariant_registry.h"
+#include "src/ckpt/controller.h"
 #include "src/compression/fpc.h"
 #include "src/core_api/system_config.h"
 #include "src/obs/interval_sampler.h"
@@ -132,7 +133,58 @@ class CmpSystem
     StatRegistry &laneStats() { return lane_registry_; }
     const StatRegistry &laneStats() const { return lane_registry_; }
 
+    // ---- checkpoint/restore (DESIGN.md §13) ----
+
+    /**
+     * Serialize the complete simulator state (event queues, cache
+     * tags, MSHRs, link/DRAM in-flight work, prefetcher tables, RNG
+     * cursors, every stat) as one versioned, CRC-protected container.
+     * A system built from the same (config, workload) restored from
+     * these bytes finishes the run with byte-identical stat dumps.
+     */
+    std::string checkpointBytes();
+
+    /**
+     * Restore the full state captured by checkpointBytes() into this
+     * freshly constructed system. Throws ckpt::CorruptCheckpoint on
+     * structural damage and ConfigError("config.restore") when the
+     * checkpoint's fingerprint or format version does not match.
+     */
+    void restoreCheckpoint(std::string_view bytes);
+
+    /** True when this system resumed from a checkpoint (warmup is a
+     *  no-op then: the restored state is already mid-measurement). */
+    bool restoredFromCheckpoint() const { return restored_; }
+
   private:
+    friend class CheckpointCodec;
+
+    /**
+     * Mid-run loop state, promoted from run()/runSharded() locals so
+     * a checkpoint taken between iterations carries the retirement
+     * target and periodic-task cursors, letting a restored system
+     * resume toward the *original* target.
+     */
+    struct RunState
+    {
+        bool active = false; ///< a timed run is in progress
+        Cycle start = 0;
+        std::uint64_t start_retired = 0;
+        std::uint64_t target = 0;
+        Cycle next_sample = 0;
+        Cycle next_audit = kCycleNever;
+        Cycle next_obs = kCycleNever;
+        Cycle last_progress = 0;
+        std::uint64_t last_retired = 0;
+    };
+
+    /** Serialize + atomically write one autosave snapshot. */
+    void saveCheckpointNow();
+
+    /** Fill run_state_ for a fresh run; no-op when resuming (the
+     *  restored cursors already point mid-run). */
+    void initRunState(std::uint64_t instr_per_core);
+
     void buildSystem();
     void resetAllStats();
     /** run() body for lanes() > 1: merged serial event drain plus
@@ -178,6 +230,10 @@ class CmpSystem
     InvariantRegistry audits_;
     Average ratio_samples_;
     std::unique_ptr<IntervalSampler> sampler_;
+
+    ckpt::Settings ckpt_settings_;
+    RunState run_state_;
+    bool restored_ = false;
 
     Cycle measured_cycles_ = 0;
     std::uint64_t measured_instructions_ = 0;

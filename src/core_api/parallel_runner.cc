@@ -12,6 +12,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "src/ckpt/cont_tag.h"
+#include "src/ckpt/crc32.h"
 #include "src/common/fingerprint.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/run_report.h"
@@ -97,18 +99,30 @@ BatchResult::failureSummary() const
         out += "\n  point " + std::to_string(i) + " after " +
                std::to_string(o.attempts) + " attempt(s): " + o.error;
     }
+    if (!retry_delays_ms.empty()) {
+        out += "\n  retry backoff:";
+        for (const std::uint64_t ms : retry_delays_ms)
+            out += " " + std::to_string(ms) + "ms";
+    }
     return out;
 }
 
 namespace {
 
 /**
- * Append-only journal of completed points. Text format:
+ * Append-only journal of completed points. Text format (v2):
  *
- *     cmpsim-journal v1\n
- *     point <fp:016x> <len>\n
+ *     cmpsim-journal v2\n
+ *     point <fp:016x> <len> <crc:08x>\n
  *     <len bytes of summaryBytes() text>end\n
  *     ...
+ *
+ * <crc> is the CRC-32 of the record body, so a corrupted *interior*
+ * record (bit rot, partial overwrite) is detected — the journal is
+ * truncated at the first bad record, keeping the valid prefix, rather
+ * than trusting a body whose framing happens to still line up. v1
+ * files (no CRC field) are still read; loading one rewrites it in v2
+ * so every on-disk journal converges to the checked format.
  *
  * Loading tolerates a crash mid-append: the valid prefix is kept and
  * the partial tail truncated away, so a journal is usable after any
@@ -142,16 +156,26 @@ class Journal
     void
     append(std::uint64_t fp, const std::string &bytes)
     {
-        char head[64];
-        std::snprintf(head, sizeof(head), "point %016llx %zu\n",
-                      static_cast<unsigned long long>(fp), bytes.size());
+        const std::string head = recordHead(fp, bytes);
         std::lock_guard<std::mutex> lock(mutex_);
         out_ << head << bytes << "end\n";
         out_.flush();
     }
 
   private:
-    static constexpr const char *kHeader = "cmpsim-journal v1\n";
+    static constexpr const char *kHeader = "cmpsim-journal v2\n";
+    static constexpr const char *kHeaderV1 = "cmpsim-journal v1\n";
+
+    static std::string
+    recordHead(std::uint64_t fp, const std::string &bytes)
+    {
+        char head[80];
+        std::snprintf(head, sizeof(head), "point %016llx %zu %08lx\n",
+                      static_cast<unsigned long long>(fp), bytes.size(),
+                      static_cast<unsigned long>(
+                          ckpt::crc32(bytes.data(), bytes.size())));
+        return head;
+    }
 
     void
     load()
@@ -166,9 +190,17 @@ class Journal
         }
 
         const std::string header = kHeader;
+        const std::string header_v1 = kHeaderV1;
+        const bool v2 = content.compare(0, header.size(), header) == 0;
+        const bool v1 =
+            !v2 && content.compare(0, header_v1.size(), header_v1) == 0;
+
+        // Parse-order record list: the map serves lookups, the vector
+        // preserves append order for the v1 -> v2 rewrite.
+        std::vector<std::pair<std::uint64_t, std::string>> ordered;
         std::size_t good = 0;
-        if (content.compare(0, header.size(), header) == 0) {
-            std::size_t pos = header.size();
+        if (v2 || v1) {
+            std::size_t pos = header.size(); // both headers same length
             good = pos;
             while (pos < content.size()) {
                 if (content.compare(pos, 6, "point ") != 0)
@@ -183,14 +215,29 @@ class Journal
                     break;
                 p = end + 1;
                 const std::uint64_t len = std::strtoull(p, &end, 10);
-                if (end == p || end != content.c_str() + nl)
+                if (end == p)
+                    break;
+                std::uint64_t crc = 0;
+                if (v2) {
+                    if (*end != ' ')
+                        break;
+                    p = end + 1;
+                    crc = std::strtoull(p, &end, 16);
+                }
+                if (end != content.c_str() + nl)
                     break;
                 const std::size_t body = nl + 1;
                 if (body + len + 4 > content.size())
                     break; // truncated mid-record
                 if (content.compare(body + len, 4, "end\n") != 0)
                     break;
-                records_[fp] = content.substr(body, len);
+                std::string bytes = content.substr(body, len);
+                if (v2 && ckpt::crc32(bytes.data(), bytes.size()) !=
+                              static_cast<std::uint32_t>(crc)) {
+                    break; // interior corruption: keep the prefix
+                }
+                records_[fp] = bytes;
+                ordered.emplace_back(fp, std::move(bytes));
                 pos = body + len + 4;
                 good = pos;
             }
@@ -202,8 +249,18 @@ class Journal
                                 std::ios::binary | std::ios::trunc);
             if (fresh.is_open())
                 fresh << header;
+        } else if (v1) {
+            // Upgrade in place: rewrite the valid prefix with CRCs so
+            // subsequent appends and reloads are all one format.
+            std::ofstream fresh(path_,
+                                std::ios::binary | std::ios::trunc);
+            if (fresh.is_open()) {
+                fresh << header;
+                for (const auto &[fp, bytes] : ordered)
+                    fresh << recordHead(fp, bytes) << bytes << "end\n";
+            }
         } else if (good < content.size()) {
-            // Drop the partial tail a crash left behind.
+            // Drop the corrupt/partial tail.
             std::filesystem::resize_file(path_, good);
         }
     }
@@ -367,6 +424,7 @@ runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
     struct TaskFailure
     {
         bool failed = false;
+        bool restored = false; ///< resumed from a CMPSIM_RESTORE ckpt
         ErrorKind kind = ErrorKind::Internal;
         std::string what;
     };
@@ -427,6 +485,10 @@ runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
                     slot.kind = ErrorKind::Internal;
                     slot.what = "non-standard exception";
                 }
+                // Consume unconditionally so a failed attempt cannot
+                // leak this thread's flag into its next task.
+                slot.restored =
+                    ckpt::consumeRestoredFlag() && !slot.failed;
                 if (!slot.failed &&
                     pending[task.point].fetch_sub(1) == 1) {
                     aggregatePoint(batch.summaries[task.point]);
@@ -467,8 +529,14 @@ runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
             PointOutcome &outcome = batch.outcomes[task.point];
             outcome.attempts = std::max(outcome.attempts, attempt);
             const TaskFailure &slot = failures[t];
-            if (!slot.failed)
+            if (!slot.failed) {
+                // A run that resumed from a checkpoint completed, but
+                // was not simulated from scratch — report it as
+                // Restored (same status journal hits use).
+                if (slot.restored && outcome.status == PointStatus::Ok)
+                    outcome.status = PointStatus::Restored;
                 continue;
+            }
             if (errorKindTransient(slot.kind) && attempt < max_attempts) {
                 retry.push_back(t);
                 continue;
@@ -480,6 +548,25 @@ runPointsChecked(const std::vector<PointSpec> &points, unsigned jobs,
             }
         }
         round = std::move(retry);
+
+        if (!round.empty() && attempt < max_attempts) {
+            // Bounded backoff before the next retry round, so a
+            // transiently overloaded host (the usual cause of watchdog
+            // trips) gets breathing room. Deterministic by design: the
+            // delay is keyed on the retrying points' spec fingerprints
+            // and the attempt number — simulation-derived quantities —
+            // never on wall-clock or randomness, so rerunning the same
+            // batch sleeps the same schedule.
+            std::uint64_t key = 0x9e3779b97f4a7c15ULL ^ attempt;
+            for (const std::size_t t : round)
+                key = (key ^ fps[tasks[t].point]) * 0x100000001b3ULL;
+            const std::uint64_t delay_ms =
+                std::min<std::uint64_t>(500, 10ULL << (attempt - 1)) +
+                key % 10;
+            batch.retry_delays_ms.push_back(delay_ms);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
+        }
     }
 
     finishBatch();

@@ -41,6 +41,7 @@
 #define CMPSIM_CORE_API_PARALLEL_RUNNER_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -63,7 +64,10 @@ struct PointSpec
 enum class PointStatus
 {
     Ok,       ///< simulated this run; all seeds succeeded
-    Restored, ///< loaded byte-identically from the journal
+    /** Not simulated from scratch: either loaded byte-identically
+     *  from the journal (attempts == 0), or resumed mid-measurement
+     *  from a CMPSIM_RESTORE checkpoint (attempts > 0). */
+    Restored,
     Failed,   ///< at least one seed failed on its final attempt
 };
 
@@ -76,7 +80,7 @@ struct PointOutcome
     /** what() of the first recorded failure ("" when not Failed). */
     std::string error;
     /** Highest attempt number any of the point's seeds used
-     *  (0 for Restored points — nothing was executed). */
+     *  (0 for journal-restored points — nothing was executed). */
     unsigned attempts = 0;
 };
 
@@ -89,10 +93,17 @@ struct BatchResult
     std::vector<MetricSummary> summaries;
     std::vector<PointOutcome> outcomes; ///< parallel to summaries
 
+    /** Backoff slept before each retry round, in ms. Deterministic:
+     *  keyed on the retrying points' spec fingerprints and the attempt
+     *  number, never on wall-clock or randomness, so reruns of the
+     *  same batch sleep the same schedule. */
+    std::vector<std::uint64_t> retry_delays_ms;
+
     std::size_t failed() const;   ///< points with status Failed
     std::size_t restored() const; ///< points with status Restored
 
-    /** Multi-line human-readable digest of every failure, or ""
+    /** Multi-line human-readable digest of every failure (including
+     *  the retry backoff schedule, when any round was retried), or ""
      *  when the batch is clean. */
     std::string failureSummary() const;
 };

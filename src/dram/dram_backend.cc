@@ -48,7 +48,7 @@ DramBackend::beatsFor(unsigned segments) const
 
 void
 DramBackend::read(Addr line_addr, unsigned segments, bool prefetch,
-                  Cycle when, Done done)
+                  Cycle when, Done done, ckpt::Tag done_tag)
 {
     faultSite("dram.access");
     const Decoded d = decode(line_addr);
@@ -61,7 +61,8 @@ DramBackend::read(Addr line_addr, unsigned segments, bool prefetch,
     ++b.pending;
     ch.reads.push_back(Request{line_addr, d.row, d.bank,
                                beatsFor(segments), prefetch, when,
-                               next_seq_++, std::move(done)});
+                               next_seq_++, std::move(done),
+                               std::move(done_tag)});
     wake(d.channel, when);
 }
 
@@ -78,7 +79,7 @@ DramBackend::write(Addr line_addr, unsigned segments, Cycle when)
     ++b.pending;
     ch.writes.push_back(Request{line_addr, d.row, d.bank,
                                beatsFor(segments), false, when,
-                               next_seq_++, nullptr});
+                               next_seq_++, nullptr, {}});
     wake(d.channel, when);
 }
 
@@ -89,7 +90,8 @@ DramBackend::wake(unsigned ci, Cycle at)
     if (ch.busy)
         return;
     ch.busy = true;
-    eq_.schedule(std::max(at, eq_.now()), [this, ci] { pump(ci); });
+    eq_.schedule(std::max(at, eq_.now()), [this, ci] { pump(ci); },
+                 ckpt::tag(ckpt::kDramPump, ci));
 }
 
 bool
@@ -174,7 +176,8 @@ DramBackend::pump(unsigned ci)
             b.ready = std::max(b.ready, now + params_.refresh_cycles);
         }
         eq_.schedule(now + params_.refresh_cycles,
-                     [this, ci] { pump(ci); });
+                     [this, ci] { pump(ci); },
+                     ckpt::tag(ckpt::kDramPump, ci));
         return;
     }
 
@@ -213,7 +216,8 @@ DramBackend::pump(unsigned ci)
             ch.busy = false;
             return;
         }
-        eq_.schedule(earliest, [this, ci] { pump(ci); });
+        eq_.schedule(earliest, [this, ci] { pump(ci); },
+                     ckpt::tag(ckpt::kDramPump, ci));
         return;
     }
 
@@ -225,25 +229,32 @@ DramBackend::pump(unsigned ci)
     const Cycle data_end = service(ch, r, now);
     if (is_write) {
         ++inflight_writes_;
-        eq_.schedule(data_end, [this, ci] {
-            ++writes_serviced_;
-            ++conserv_writes_out_;
-            --inflight_writes_;
-            pump(ci);
-        });
+        eq_.schedule(data_end,
+                     [this, ci] {
+                         ++writes_serviced_;
+                         ++conserv_writes_out_;
+                         --inflight_writes_;
+                         pump(ci);
+                     },
+                     ckpt::tag(ckpt::kDramWriteDone, ci));
     } else {
         ++inflight_reads_;
         read_queue_wait_.sample(static_cast<double>(now - r.ready));
         const Cycle done_at = data_end + params_.ctrl_latency;
-        eq_.schedule(done_at, [done = std::move(r.done), done_at] {
-            done(done_at);
-        });
-        eq_.schedule(data_end, [this, ci] {
-            ++reads_serviced_;
-            ++conserv_reads_out_;
-            --inflight_reads_;
-            pump(ci);
-        });
+        eq_.schedule(done_at,
+                     [done = std::move(r.done), done_at] {
+                         done(done_at);
+                     },
+                     ckpt::tag(ckpt::kDoneAt, done_at, 0, 0, 0,
+                               std::move(r.tag)));
+        eq_.schedule(data_end,
+                     [this, ci] {
+                         ++reads_serviced_;
+                         ++conserv_reads_out_;
+                         --inflight_reads_;
+                         pump(ci);
+                     },
+                     ckpt::tag(ckpt::kDramReadSvc, ci));
     }
 }
 

@@ -16,7 +16,7 @@ PriorityLink::PriorityLink(EventQueue &eq, double bytes_per_cycle,
 
 void
 PriorityLink::send(unsigned bytes, LinkClass cls, Cycle ready,
-                   Deliver deliver)
+                   Deliver deliver, ckpt::Tag deliver_tag)
 {
     faultSite("link.transfer");
     // Stamp with the current cycle, not `ready` (which may lie in the
@@ -39,19 +39,23 @@ PriorityLink::send(unsigned bytes, LinkClass cls, Cycle ready,
         queue_delay_.sample(0.0);
         queue_delay_hist_.sample(0.0);
         if (deliver) {
-            eq_.schedule(done, [deliver = std::move(deliver), done] {
-                deliver(done);
-            });
+            eq_.schedule(done,
+                         [deliver = std::move(deliver), done] {
+                             deliver(done);
+                         },
+                         ckpt::tag(ckpt::kDoneAt, done, 0, 0, 0,
+                                   std::move(deliver_tag)));
         }
         return;
     }
 
-    queues_[static_cast<unsigned>(cls)].push_back(
-        Message{bytes, ready, std::move(deliver)});
+    queues_[static_cast<unsigned>(cls)].push_back(Message{
+        bytes, ready, std::move(deliver), std::move(deliver_tag)});
     if (!busy_) {
         // Kick the pump at the message's ready time (or now).
         const Cycle at = std::max(ready, eq_.now());
-        eq_.schedule(at, [this] { pump(); });
+        eq_.schedule(at, [this] { pump(); },
+                     ckpt::tag(ckpt::kLinkPump));
     }
 }
 
@@ -115,7 +119,8 @@ PriorityLink::pump()
 
     if (queue == nullptr) {
         if (earliest_future != kCycleNever)
-            eq_.schedule(earliest_future, [this] { pump(); });
+            eq_.schedule(earliest_future, [this] { pump(); },
+                         ckpt::tag(ckpt::kLinkPump));
         return;
     }
 
@@ -132,15 +137,26 @@ PriorityLink::pump()
 
     busy_ = true;
     inflight_bytes_ = msg.bytes;
-    eq_.schedule(done, [this, deliver = std::move(msg.deliver), done,
-                        bytes = msg.bytes] {
-        busy_ = false;
-        inflight_bytes_ = 0;
-        delivered_bytes_ += bytes;
-        if (deliver)
-            deliver(done);
-        pump();
-    });
+    ckpt::Tag ev_tag = ckpt::tag(ckpt::kLinkInflight, msg.bytes, done,
+                                 0, 0, std::move(msg.tag));
+    eq_.schedule(done,
+                 [this, deliver = std::move(msg.deliver), done,
+                  bytes = msg.bytes]() mutable {
+                     completeTransfer(std::move(deliver), done, bytes);
+                 },
+                 std::move(ev_tag));
+}
+
+void
+PriorityLink::completeTransfer(Deliver deliver, Cycle done,
+                               unsigned bytes)
+{
+    busy_ = false;
+    inflight_bytes_ = 0;
+    delivered_bytes_ += bytes;
+    if (deliver)
+        deliver(done);
+    pump();
 }
 
 void

@@ -93,6 +93,8 @@ class ValueStore
     const Compressor &compressor() const { return compressor_; }
 
   private:
+    friend class CheckpointCodec; // serializes the line map
+
     struct Entry
     {
         LineData data{};

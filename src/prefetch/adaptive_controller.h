@@ -101,6 +101,8 @@ class AdaptivePrefetchController
     }
 
   private:
+    friend class CheckpointCodec; // serializes the throttle counter
+
     SatCounter counter_;
     bool enabled_;
     Counter useful_;

@@ -92,6 +92,8 @@ class StridePrefetcher
     void clear();
 
   private:
+    friend class CheckpointCodec; // serializes filter/stream tables
+
     struct FilterEntry
     {
         std::int64_t last_line = 0;

@@ -102,6 +102,8 @@ class BandwidthResource
     }
 
   private:
+    friend class CheckpointCodec; // serializes channel occupancy
+
     double rate_;
     bool infinite_;
     double next_free_ = 0.0;

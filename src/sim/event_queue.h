@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/cont_tag.h"
 #include "src/common/log.h"
 #include "src/common/types.h"
 #include "src/obs/profiler.h"
@@ -90,9 +91,14 @@ class EventQueue
      */
     void setSequenceSource(std::uint64_t *seq) { seq_src_ = seq; }
 
-    /** Schedule @p cb at @p when. @pre when >= now(). */
+    /**
+     * Schedule @p cb at @p when. @pre when >= now(). The optional
+     * @p tag is the callback's serializable description for
+     * checkpointing (src/ckpt/cont_tag.h); it is empty except when a
+     * checkpoint knob armed tagging, and never affects execution.
+     */
     void
-    schedule(Cycle when, Callback cb)
+    schedule(Cycle when, Callback cb, ckpt::Tag tag = {})
     {
         cmpsim_assert(when >= now_,
                       "schedule into the past: when=%llu now=%llu",
@@ -101,10 +107,12 @@ class EventQueue
         if (when == now_) {
             // Same-cycle continuation: newest seq by construction, so
             // FIFO append order is (when, seq) order.
-            same_cycle_.push_back(Event{when, (*seq_src_)++, std::move(cb)});
+            same_cycle_.push_back(
+                Event{when, (*seq_src_)++, std::move(cb), std::move(tag)});
             return;
         }
-        heap_.push_back(Event{when, (*seq_src_)++, std::move(cb)});
+        heap_.push_back(
+            Event{when, (*seq_src_)++, std::move(cb), std::move(tag)});
         siftUp(heap_.size() - 1);
     }
 
@@ -227,11 +235,14 @@ class EventQueue
     }
 
   private:
+    friend class CheckpointCodec; // serializes heap_/now_/seq state
+
     struct Event
     {
         Cycle when;
         std::uint64_t seq;
         Callback cb;
+        ckpt::Tag tag; ///< serializable description of cb (may be null)
 
         bool
         before(const Event &o) const

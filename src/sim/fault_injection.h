@@ -31,7 +31,9 @@
  * (PriorityLink::send), workload.gen (SyntheticWorkload construction),
  * core.stall (CoreModel::tick, stall kind only), dram.access
  * (DramBackend::read — hit only when the banked backend is armed via
- * CMPSIM_DRAM; contains/retries like l2.fill).
+ * CMPSIM_DRAM; contains/retries like l2.fill), ckpt.save
+ * (ckpt::atomicSave — fails an autosave mid-run) and ckpt.load
+ * (ckpt::loadWithFallback — fails a CMPSIM_RESTORE resume).
  *
  * The same file hosts the per-point wall-clock deadline
  * (CMPSIM_POINT_TIMEOUT): DeadlineGuard arms a thread-local deadline

@@ -78,6 +78,8 @@ class SyntheticWorkload : public InstructionStream
     const WorkloadParams &params() const { return params_; }
 
   private:
+    friend class CheckpointCodec; // serializes RNG + generator cursor
+
     struct Stream
     {
         Addr cur = 0;

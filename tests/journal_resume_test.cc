@@ -255,8 +255,103 @@ TEST(JournalResumeTest, UnrecognisableJournalIsStartedFresh)
     EXPECT_EQ(batch.failed(), 0u);
     EXPECT_EQ(batch.restored(), 0u);
     const std::string content = readFile(path);
-    EXPECT_EQ(content.compare(0, 18, "cmpsim-journal v1\n"), 0)
+    EXPECT_EQ(content.compare(0, 18, "cmpsim-journal v2\n"), 0)
         << content.substr(0, 40);
+    std::remove(path.c_str());
+}
+
+TEST(JournalResumeTest, InteriorCorruptionTruncatesAtFirstBadRecord)
+{
+    const auto specs = smallPoints();
+    const std::string path =
+        journalPath("InteriorCorruptionTruncatesAtFirstBadRecord");
+    std::remove(path.c_str());
+
+    RunPolicy policy;
+    policy.journal_path = path;
+    const BatchResult first = runPointsChecked(specs, 1, policy);
+    ASSERT_EQ(first.failed(), 0u);
+
+    // Flip one byte inside the *last* record's body. The framing still
+    // lines up (same length, "end\n" intact) but the per-record CRC
+    // catches it — the journal must be truncated at that record, not
+    // trusted.
+    std::string content = readFile(path);
+    ASSERT_GT(content.size(), 100u);
+    {
+        std::fstream f(path, std::ios::binary | std::ios::in |
+                                 std::ios::out);
+        const auto off =
+            static_cast<std::streamoff>(content.size() - 10);
+        f.seekp(off);
+        char c = content[content.size() - 10];
+        c = static_cast<char>(c ^ 0x01);
+        f.write(&c, 1);
+    }
+
+    const BatchResult second = runPointsChecked(specs, 2, policy);
+    ASSERT_EQ(second.failed(), 0u);
+    EXPECT_EQ(second.outcomes[0].status, PointStatus::Restored);
+    EXPECT_EQ(second.outcomes[1].status, PointStatus::Ok)
+        << "corrupt record was trusted instead of re-simulated";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(summaryBytes(second.summaries[i]),
+                  summaryBytes(first.summaries[i]))
+            << "point " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(JournalResumeTest, V1JournalIsReadAndUpgradedToV2)
+{
+    const auto specs = smallPoints();
+    const std::string path =
+        journalPath("V1JournalIsReadAndUpgradedToV2");
+    std::remove(path.c_str());
+
+    RunPolicy policy;
+    policy.journal_path = path;
+    const BatchResult first = runPointsChecked(specs, 1, policy);
+    ASSERT_EQ(first.failed(), 0u);
+
+    // Downgrade the file to the v1 format (no per-record CRC field)
+    // by rewriting each record head, exactly what a journal written
+    // before the CRC existed looks like.
+    const std::string v2 = readFile(path);
+    ASSERT_EQ(v2.compare(0, 18, "cmpsim-journal v2\n"), 0);
+    std::string v1 = "cmpsim-journal v1\n";
+    std::size_t pos = 18;
+    while (pos < v2.size()) {
+        ASSERT_EQ(v2.compare(pos, 6, "point "), 0);
+        const std::size_t nl = v2.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos);
+        const std::string head = v2.substr(pos, nl - pos);
+        // "point <fp> <len> <crc>" -> "point <fp> <len>"
+        const std::size_t crc_sp = head.rfind(' ');
+        ASSERT_NE(crc_sp, std::string::npos);
+        const std::string fp_len = head.substr(0, crc_sp);
+        const std::size_t len =
+            std::stoul(fp_len.substr(fp_len.rfind(' ') + 1));
+        v1 += fp_len + "\n";
+        v1 += v2.substr(nl + 1, len + 4); // body + "end\n"
+        pos = nl + 1 + len + 4;
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << v1;
+    }
+
+    // Loading the v1 file restores every point and rewrites the
+    // journal in place as v2, CRCs and all.
+    const BatchResult second = runPointsChecked(specs, 2, policy);
+    ASSERT_EQ(second.failed(), 0u);
+    EXPECT_EQ(second.restored(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(summaryBytes(second.summaries[i]),
+                  summaryBytes(first.summaries[i]))
+            << "point " << i;
+    }
+    EXPECT_EQ(readFile(path), v2) << "v1 journal was not upgraded";
     std::remove(path.c_str());
 }
 

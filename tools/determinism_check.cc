@@ -24,6 +24,13 @@
  * 4 must produce byte-identical metric summaries (the CMPSIM_JOBS
  * invariance every bench table now depends on).
  *
+ * A fourth leg checks checkpoint/restore (DESIGN.md Section 13): a
+ * run with periodic CMPSIM_CKPT autosaves must hash identically to
+ * the plain baseline (saving is a pure observer), and a fresh system
+ * resumed from the last mid-run snapshot with CMPSIM_RESTORE must
+ * finish with that same hash — at lanes 1 and at lanes 4, proving
+ * snapshots are portable across kernel shard counts.
+ *
  *   determinism_check [workload ...]      # default: zeus apsi
  *
  * Exit status 0 when every workload reproduces, 1 otherwise.
@@ -31,6 +38,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -159,6 +167,68 @@ checkParallelRunner(const std::vector<std::string> &workloads)
     return status;
 }
 
+/**
+ * Checkpoint-resume leg: autosave every few thousand cycles while
+ * running to completion (hash must equal @p baseline — a save never
+ * perturbs simulation), then resume a fresh system from the last
+ * mid-run snapshot at lanes 1 and lanes 4 (each must finish with the
+ * baseline hash). Returns 0 on success, 1 on any divergence.
+ */
+int
+checkCheckpointResume(const std::vector<std::string> &workloads,
+                      const std::vector<std::uint64_t> &baseline)
+{
+    int status = 0;
+    const std::string path = "determinism_check_ckpt.bin";
+    const std::string spec = path + ":every3000";
+
+    // Checkpointing refuses to combine with interval sampling (the
+    // sampler's already-emitted rows are not replayable), and CI's
+    // traced gate arms CMPSIM_SAMPLE_CYCLES for the other legs — so
+    // this leg runs with sampling off, restoring the knob afterwards.
+    const char *sample_env = getenv("CMPSIM_SAMPLE_CYCLES");
+    const std::string saved_sample = sample_env != nullptr ? sample_env : "";
+    if (sample_env != nullptr)
+        unsetenv("CMPSIM_SAMPLE_CYCLES");
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        std::remove(path.c_str());
+        std::remove((path + ".prev").c_str());
+
+        setenv("CMPSIM_CKPT", spec.c_str(), 1);
+        const std::uint64_t save = runOnce(workloads[i]);
+        unsetenv("CMPSIM_CKPT");
+
+        setenv("CMPSIM_RESTORE", path.c_str(), 1);
+        const std::uint64_t resume1 = runOnce(workloads[i]);
+        const std::uint64_t resume4 = runOnce(workloads[i], 4);
+        unsetenv("CMPSIM_RESTORE");
+
+        if (save == baseline[i] && resume1 == baseline[i] &&
+            resume4 == baseline[i]) {
+            std::printf("determinism_check: %-8s ok    %016llx "
+                        "(ckpt save == resume == resume-lanes4)\n",
+                        workloads[i].c_str(),
+                        static_cast<unsigned long long>(baseline[i]));
+        } else {
+            std::printf("determinism_check: %-8s FAIL  baseline "
+                        "%016llx vs %016llx (ckpt save) vs %016llx "
+                        "(resume) vs %016llx (resume lanes 4)\n",
+                        workloads[i].c_str(),
+                        static_cast<unsigned long long>(baseline[i]),
+                        static_cast<unsigned long long>(save),
+                        static_cast<unsigned long long>(resume1),
+                        static_cast<unsigned long long>(resume4));
+            status = 1;
+        }
+        std::remove(path.c_str());
+        std::remove((path + ".prev").c_str());
+    }
+    if (sample_env != nullptr)
+        setenv("CMPSIM_SAMPLE_CYCLES", saved_sample.c_str(), 1);
+    return status;
+}
+
 int
 run(const std::vector<std::string> &workloads)
 {
@@ -183,6 +253,7 @@ run(const std::vector<std::string> &workloads)
     }
     status |= checkLanes(workloads, baseline);
     status |= checkParallelRunner(workloads);
+    status |= checkCheckpointResume(workloads, baseline);
     return status;
 }
 
