@@ -7,8 +7,8 @@
 # binary writes to its own temp file; sections are concatenated in
 # name order afterwards, so the combined output is identical at any
 # -j. A machine-readable BENCH_results.json (bench name, wall-clock
-# seconds, exit status) lands next to the text output so later runs
-# have a perf trajectory to compare against.
+# seconds, peak RSS, exit status) lands next to the text output so
+# later runs have a perf trajectory to compare against.
 #
 # The binaries themselves also parallelize internally across
 # CMPSIM_JOBS simulation workers; with -j > 1 you may want to set
@@ -47,13 +47,45 @@ bench_status() {
   echo "$s"
 }
 
-# Launch one bench binary, recording output, wall seconds and status.
+# Peak resident set of a finished bench in KiB. Missing or corrupt
+# .rss (no /usr/bin/time on this host, or the bench was killed before
+# time could report) reads as 0 — "unknown", never a parse error in
+# the JSON.
+bench_rss() {
+  local r
+  r=$(cat "$tmpdir/$1.rss" 2>/dev/null)
+  case "$r" in
+    ''|*[!0-9]*) r=0 ;;
+  esac
+  echo "$r"
+}
+
+# Launch one bench binary, recording output, wall seconds, peak RSS
+# and status.
 run_one() {
   local bin=$1 name
   name=$(basename "$bin")
   local t0 t1
   t0=$(date +%s.%N)
-  "$bin" > "$tmpdir/$name.out" 2>&1
+  if [ -x /usr/bin/time ]; then
+    # GNU time's %M is ru_maxrss in KiB; -o keeps it out of the
+    # bench's own output so the concatenated text stays identical.
+    /usr/bin/time -o "$tmpdir/$name.rss" -f %M \
+      "$bin" > "$tmpdir/$name.out" 2>&1
+  elif command -v python3 > /dev/null 2>&1; then
+    # No GNU time on this host: read the same ru_maxrss (KiB on
+    # Linux) from getrusage(RUSAGE_CHILDREN) in a python wrapper.
+    # Signal deaths map to the shell's 128+N convention like time(1).
+    python3 -c '
+import resource, subprocess, sys
+status = subprocess.call([sys.argv[1]])
+with open(sys.argv[2], "w") as f:
+    f.write(str(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss))
+sys.exit(status if status >= 0 else 128 - status)' \
+      "$bin" "$tmpdir/$name.rss" > "$tmpdir/$name.out" 2>&1
+  else
+    "$bin" > "$tmpdir/$name.out" 2>&1
+  fi
   echo $? > "$tmpdir/$name.status"
   t1=$(date +%s.%N)
   awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }' \
@@ -122,9 +154,9 @@ overall_secs=$(awk -v a="$suite_t0" -v b="$suite_t1" \
     name=$(basename "$b")
     status=$(bench_status "$name")
     if [ "$status" -eq 0 ]; then word=ok; else word=failed; fi
-    printf '%s    { "name": "%s", "status": "%s", "wall_seconds": %s, "exit_status": %s }' \
+    printf '%s    { "name": "%s", "status": "%s", "wall_seconds": %s, "max_rss_kb": %s, "exit_status": %s }' \
       "$sep" "$name" "$word" "$(cat "$tmpdir/$name.secs")" \
-      "$status"
+      "$(bench_rss "$name")" "$status"
     sep=",
 "
   done

@@ -4,6 +4,7 @@
 
 #include "src/audit/audits.h"
 #include "src/compression/bdi.h"
+#include "src/obs/cpi_stack.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/sim/fault_injection.h"
@@ -82,6 +83,9 @@ L2Cache::request(unsigned cpu, Addr line, bool exclusive, ReqType type,
                  Cycle when, Done done, ckpt::Tag done_tag)
 {
     cmpsim_assert(line == lineAddr(line));
+
+    if (journal_ != nullptr)
+        journal_->onL2Request(cpu, line, type != ReqType::Demand, when);
 
     if (type == ReqType::L2Prefetch)
         ++l2pf_in_network_;
@@ -181,6 +185,8 @@ L2Cache::lookup(unsigned cpu, Addr line, bool exclusive, ReqType type,
         // ------------------------------ hit
         if (type == ReqType::L2Prefetch) {
             ++l2pf_squashed_;
+            if (journal_ != nullptr)
+                journal_->onPrefetchSquashed(line, when);
             return;
         }
         if (type == ReqType::Demand)
@@ -199,6 +205,10 @@ L2Cache::lookup(unsigned cpu, Addr line, bool exclusive, ReqType type,
         set.touch(line);
         Cycle ready = when + params_.lookup_latency +
                       (penalized ? params_.decompression_latency : 0);
+        if (journal_ != nullptr) {
+            journal_->onL2Hit(line, when + params_.lookup_latency,
+                              ready, penalized);
+        }
         grant(cpu, line, exclusive, type, ready, penalized, done);
         return;
     }
@@ -245,6 +255,8 @@ L2Cache::lookup(unsigned cpu, Addr line, bool exclusive, ReqType type,
     if (type == ReqType::L2Prefetch) {
         if (pf_outstanding_[cpu] >= params_.prefetch_outstanding) {
             ++l2pf_dropped_;
+            if (journal_ != nullptr)
+                journal_->onPrefetchSquashed(line, when);
             return;
         }
         ++pf_outstanding_[cpu];
@@ -349,6 +361,8 @@ L2Cache::grant(unsigned cpu, Addr line, bool exclusive, ReqType type,
     const unsigned bytes = kDataBytes;
     const Cycle at_l1 =
         onchip_.reserve(ready, bytes) + params_.onchip_hop_latency;
+    if (journal_ != nullptr)
+        journal_->onGranted(line, at_l1);
     if (done)
         done(at_l1, exclusive, penalized);
 }
@@ -411,6 +425,19 @@ L2Cache::fill(Addr line, Cycle arrival)
 
     for (const TagEntry &victim : set.insert(entry))
         handleVictim(victim, arrival);
+
+    if (journal_ != nullptr) {
+        const TagEntry *filled = set.find(line);
+        const bool penal = params_.compressed && filled != nullptr &&
+                           filled->segments < kSegmentsPerLine;
+        const Cycle decomp_end =
+            arrival + (penal ? params_.decompression_latency : 0);
+        journal_->onL2Fill(line, arrival, decomp_end);
+        // A prefetch fill with no coalesced waiters ends its journey
+        // here: nobody will ever be granted this data.
+        if (m.waiters.empty())
+            journal_->onGranted(line, decomp_end);
+    }
 
     // Grant every coalesced waiter, in arrival order.
     for (Waiter &w : m.waiters) {

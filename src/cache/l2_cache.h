@@ -54,6 +54,7 @@
 namespace cmpsim {
 
 class InvariantRegistry;
+class MissJournal;
 
 /** Static configuration of the shared L2. */
 struct L2Params
@@ -144,6 +145,9 @@ class L2Cache
 
     /** Observe demand misses and prefetch fills (for Figure 8). */
     void setMissObserver(MissObserver obs);
+
+    /** Wire the (opt-in) miss-genealogy journal; nullptr disarms. */
+    void setJournal(MissJournal *j) { journal_ = j; }
 
     /**
      * Functional (warmup) mode: state changes apply instantly and no
@@ -321,6 +325,7 @@ class L2Cache
     L1Invalidator l1_invalidate_;
     L1Downgrader l1_downgrade_;
     MissObserver miss_observer_;
+    MissJournal *journal_ = nullptr;
     bool functional_mode_ = false;
 
     // Statistics.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/cpi_stack.h"
 #include "src/sim/fault_injection.h"
 #include "src/sim/lane.h"
 
@@ -38,12 +39,14 @@ CoreModel::fetchAvailable(Addr pc, Cycle now)
     if (!icache_.canAccept(line)) {
         // I-MSHRs saturated (prefetch burst); retry shortly.
         fetch_stall_until_ = now + 8;
+        fetch_kind_ = FetchStallKind::IMiss;
         return false;
     }
 
     ++ifetch_lines_;
     last_fetch_line_ = line;
     fetch_stall_until_ = kCycleNever; // resolved by the callback
+    fetch_kind_ = FetchStallKind::IMiss;
     icache_.access(line, false, now,
                    [this](Cycle c) {
                        fetch_stall_until_ = c;
@@ -76,11 +79,14 @@ CoreModel::dispatchOne(Cycle now)
       case InstrType::Load: {
         if (!dcache_.canAccept(in.addr)) {
             ++dispatch_stalls_mshr_;
+            mshr_stall_ = true;
             return false;
         }
         ++loads_;
         e.type = InstrType::Load;
         e.done_at = kCycleNever;
+        if (cpi_ != nullptr)
+            cpi_->noteLoad(slot, lineAddr(in.addr));
         if (in.chained) {
             ++chained_loads_;
             chain_queue_.push_back(
@@ -98,6 +104,7 @@ CoreModel::dispatchOne(Cycle now)
       case InstrType::Store: {
         if (!dcache_.canAccept(in.addr)) {
             ++dispatch_stalls_mshr_;
+            mshr_stall_ = true;
             return false;
         }
         ++stores_;
@@ -138,6 +145,7 @@ CoreModel::dispatchOne(Cycle now)
         e.done_at = now + 1;
         if (in.mispredict) {
             ++mispredicts_;
+            fetch_kind_ = FetchStallKind::Branch;
             fetch_stall_until_ = std::max(
                 fetch_stall_until_ == kCycleNever ? 0 : fetch_stall_until_,
                 now + params_.branch_redirect_penalty);
@@ -207,13 +215,18 @@ CoreModel::issueChainHead(Cycle now)
 Cycle
 CoreModel::tick(Cycle now)
 {
+    if (cpi_ != nullptr)
+        cpi_->beginTick(now);
     if (faultStallActive("core.stall")) {
         // Injected livelock: keep ticking without retiring anything so
         // the cycle-based watchdog (not a hang) ends the simulation.
+        if (cpi_ != nullptr)
+            cpi_->endTick(now, CpiBlock::Compute, 0);
         next_wake_ = now + 1;
         return next_wake_;
     }
     ++cycles_;
+    mshr_stall_ = false;
     bool progress = false;
 
     // A chained access may be waiting on a free MSHR.
@@ -242,8 +255,31 @@ CoreModel::tick(Cycle now)
     }
 
     if (progress) {
+        if (cpi_ != nullptr)
+            cpi_->endTick(now, CpiBlock::Compute, 0);
         next_wake_ = now + 1;
         return next_wake_;
+    }
+
+    if (cpi_ != nullptr) {
+        // Blocking-cause tie-break (DESIGN.md §9): the oldest
+        // incomplete instruction is what retirement is actually
+        // waiting on, so an incomplete ROB-head load wins; otherwise
+        // whatever froze the front end this tick.
+        CpiBlock cause = CpiBlock::Compute;
+        Addr line = 0;
+        if (rob_count_ > 0 && !rob_[rob_head_].completed(now) &&
+            rob_[rob_head_].type == InstrType::Load) {
+            cause = CpiBlock::L1dMiss;
+            line = cpi_->loadLine(rob_head_);
+        } else if (now < fetch_stall_until_) {
+            cause = fetch_kind_ == FetchStallKind::Branch
+                        ? CpiBlock::BranchRedirect
+                        : CpiBlock::L1iMiss;
+        } else if (mshr_stall_) {
+            cause = CpiBlock::MshrFull;
+        }
+        cpi_->endTick(now, cause, line);
     }
 
     // Blocked: compute the earliest self-known wake-up.

@@ -32,6 +32,8 @@
 
 namespace cmpsim {
 
+class CpiAccount;
+
 /** Static core configuration (Table 1). */
 struct CoreParams
 {
@@ -73,6 +75,11 @@ class CoreModel
     void runFunctional(std::uint64_t count);
 
     unsigned cpu() const { return cpu_; }
+
+    /** Attach the (opt-in) CPI-stack account this core reports its
+     *  per-tick blocking cause to; nullptr (the default) disarms the
+     *  probes entirely. */
+    void setCpi(CpiAccount *cpi) { cpi_ = cpi; }
 
     void registerStats(StatRegistry &reg, const std::string &prefix);
     void resetStats();
@@ -140,6 +147,14 @@ class CoreModel
     Addr last_fetch_line_ = kAddrInvalid;
     Cycle fetch_stall_until_ = 0;
     Cycle next_wake_ = 0;
+
+    /** Why fetch last stalled — the CPI stack's tie-break between an
+     *  I-miss and a branch redirect (last writer wins; untouched when
+     *  no CpiAccount is attached means it is never read). */
+    enum class FetchStallKind : std::uint8_t { IMiss, Branch };
+    FetchStallKind fetch_kind_ = FetchStallKind::IMiss;
+    bool mshr_stall_ = false; ///< dispatch hit a full MSHR this tick
+    CpiAccount *cpi_ = nullptr;
 
     Counter retired_;
     Counter loads_;

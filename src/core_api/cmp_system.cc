@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/audit/audits.h"
 #include "src/ckpt/checkpoint.h"
 #include "src/common/sim_error.h"
 #include "src/dram/dram_backend.h"
+#include "src/obs/cpi_stack.h"
 #include "src/obs/trace.h"
 #include "src/sim/fault_injection.h"
 
@@ -54,6 +56,13 @@ CmpSystem::CmpSystem(const SystemConfig &config,
         config_.lanes =
             static_cast<unsigned>(std::strtoull(env, nullptr, 10));
     }
+    // Opt-in CPI-stack / miss-genealogy layer (DESIGN.md §9):
+    // CMPSIM_CPISTACK arms it ("0" or empty leaves it off). Pure
+    // observation — stats land in cpiStats(), never in stats().
+    if (const char *env = std::getenv("CMPSIM_CPISTACK")) {
+        config_.cpi_stack =
+            *env != '\0' && std::strcmp(env, "0") != 0;
+    }
     // Checkpoint/restore knobs (DESIGN.md §13). Tagging must be armed
     // before any component can create a continuation, so every pending
     // closure a later save() walks carries its serializable tag.
@@ -67,7 +76,30 @@ CmpSystem::CmpSystem(const SystemConfig &config,
             "checkpointing cannot be combined with interval sampling "
             "(CMPSIM_SAMPLE_CYCLES): sampler rows are not checkpointed");
     }
+    if (ckpt_settings_.armed() && config_.cpi_stack) {
+        throw ConfigError(
+            "config.cpistack",
+            "CPI-stack accounting cannot be combined with "
+            "checkpoint/restore (CMPSIM_CKPT/CMPSIM_RESTORE): "
+            "genealogy records and attribution windows are not "
+            "checkpointed");
+    }
     buildSystem();
+
+    if (Tracer *tracer = Tracer::armed()) {
+        // Label the sim-pid tracks so Perfetto renders names instead
+        // of bare tids: tid 0 carries the uncore events, and each
+        // core's miss journeys land on their own track.
+        tracer->threadName(kTraceSimPid, 0, "uncore");
+        if (config_.cpi_stack) {
+            for (unsigned c = 0; c < config_.cores; ++c) {
+                tracer->threadName(
+                    kTraceSimPid, kJourneyTraceTidBase + c,
+                    "core " + std::to_string(c) + " journeys (lane " +
+                        std::to_string(lane_of_core_[c]) + ")");
+            }
+        }
+    }
 
     if (config_.sample_interval > 0) {
         IntervalSampler::Shape shape;
@@ -228,6 +260,45 @@ CmpSystem::buildSystem()
             config_.coreParams()));
     }
 
+    if (config_.cpi_stack) {
+        // CPI-stack / miss-genealogy layer (DESIGN.md §9): one journal
+        // fed by the uncore timing layers plus one account per core.
+        // All its stats land in cpi_registry_ so stats() dumps — and
+        // the determinism fingerprints — never change when it's armed.
+        const MemoryParams mp = config_.memoryParams();
+        miss_journal_ = std::make_unique<MissJournal>(
+            mp.link_bytes_per_cycle, mp.infinite_bandwidth);
+        l2_->setJournal(miss_journal_.get());
+        memory_->setJournal(miss_journal_.get());
+        if (memory_->dram() != nullptr) {
+            memory_->dram()->setReadObserver(
+                [j = miss_journal_.get()](Addr line, Cycle svc_start,
+                                          Cycle done, bool row_hit) {
+                    j->onDramService(line, svc_start, done, row_hit);
+                });
+        }
+        for (unsigned c = 0; c < config_.cores; ++c) {
+            cpi_.push_back(std::make_unique<CpiAccount>(
+                c, config_.coreParams().rob_entries,
+                miss_journal_.get()));
+            cores_[c]->setCpi(cpi_[c].get());
+        }
+        miss_journal_->registerStats(cpi_registry_, "genealogy");
+        for (unsigned c = 0; c < config_.cores; ++c) {
+            cpi_[c]->registerStats(cpi_registry_,
+                                   "cpi." + std::to_string(c));
+        }
+        // Conservation: every attributed window's leaves must sum to
+        // exactly the elapsed cycles it covered — checked per core.
+        audits_.add("obs.cpi_conservation", [this](std::string &why) {
+            for (auto &a : cpi_) {
+                if (!a->conserved(why))
+                    return false;
+            }
+            return true;
+        });
+    }
+
     if (lanes > 1) {
         // Lane worker crew: lanes - 1 long-lived tasks on a dedicated
         // pool (the coordinator ticks lane 0 inline). Each lane's work
@@ -361,8 +432,20 @@ CmpSystem::resetAllStats()
     }
     ratio_samples_.reset();
     lane_registry_.resetAll();
+    cpi_registry_.resetAll();
+    for (auto &a : cpi_)
+        a->resetStats();
+    if (miss_journal_ != nullptr)
+        miss_journal_->resetStats();
     if (sampler_ != nullptr)
         sampler_->onStatsReset(eq_.now());
+}
+
+void
+CmpSystem::cpiFlush(Cycle now)
+{
+    for (auto &a : cpi_)
+        a->flush(now);
 }
 
 void
@@ -536,6 +619,11 @@ CmpSystem::run(std::uint64_t instr_per_core)
         if (traceEnabled() && !sampler_->rows().empty())
             traceSampleRow(*sampler_, sampler_->rows().back());
     }
+    if (!cpi_.empty()) {
+        // Close every open attribution window so the CPI leaves sum to
+        // exactly the measured cycles before the end-of-run audit.
+        cpiFlush(now);
+    }
     if (audit_interval > 0)
         audits_.enforce(); // end-of-simulation audit
     run_state_.active = false;
@@ -701,6 +789,11 @@ CmpSystem::runSharded(std::uint64_t instr_per_core)
         sampler_->sampleAt(now);
         if (traceEnabled() && !sampler_->rows().empty())
             traceSampleRow(*sampler_, sampler_->rows().back());
+    }
+    if (!cpi_.empty()) {
+        // Close every open attribution window so the CPI leaves sum to
+        // exactly the measured cycles before the end-of-run audit.
+        cpiFlush(now);
     }
     if (audit_interval > 0)
         audits_.enforce(); // end-of-simulation audit

@@ -32,6 +32,9 @@
 
 namespace cmpsim {
 
+class CpiAccount;
+class MissJournal;
+
 /** A complete simulated CMP. */
 class CmpSystem
 {
@@ -133,6 +136,27 @@ class CmpSystem
     StatRegistry &laneStats() { return lane_registry_; }
     const StatRegistry &laneStats() const { return lane_registry_; }
 
+    /**
+     * CPI-stack and miss-genealogy statistics (config.cpi_stack /
+     * CMPSIM_CPISTACK, DESIGN.md §9): per-core "cpi.<n>.<leaf>" cycle
+     * counters plus "genealogy.*" journey counters and per-segment
+     * latency histograms. A *separate* registry for the same reason
+     * as laneStats(): stats() dumps feed determinism fingerprints
+     * that must stay byte-identical whether or not the attribution
+     * layer is armed. Empty when the layer is off.
+     */
+    StatRegistry &cpiStats() { return cpi_registry_; }
+    const StatRegistry &cpiStats() const { return cpi_registry_; }
+
+    /** Per-core CPI account, or nullptr when the layer is off. */
+    const CpiAccount *cpiAccount(unsigned cpu) const
+    {
+        return cpu < cpi_.size() ? cpi_[cpu].get() : nullptr;
+    }
+
+    /** The miss-genealogy journal, or nullptr when the layer is off. */
+    const MissJournal *missJournal() const { return miss_journal_.get(); }
+
     // ---- checkpoint/restore (DESIGN.md §13) ----
 
     /**
@@ -199,6 +223,10 @@ class CmpSystem
      *  reports: event-queue depth and horizon plus per-core state. */
     std::string runDiagnostic(Cycle now) const;
 
+    /** Close every core's open attribution window at @p now so the
+     *  CPI leaves sum to exactly the elapsed cycles (end-of-run). */
+    void cpiFlush(Cycle now);
+
     SystemConfig config_;
     WorkloadParams workload_;
 
@@ -225,8 +253,12 @@ class CmpSystem
     std::vector<std::unique_ptr<SyntheticWorkload>> streams_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
 
+    std::unique_ptr<MissJournal> miss_journal_;     ///< see cpiStats()
+    std::vector<std::unique_ptr<CpiAccount>> cpi_;  ///< per core
+
     StatRegistry registry_;
     StatRegistry lane_registry_; ///< see laneStats()
+    StatRegistry cpi_registry_;  ///< see cpiStats()
     InvariantRegistry audits_;
     Average ratio_samples_;
     std::unique_ptr<IntervalSampler> sampler_;

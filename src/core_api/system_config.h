@@ -70,6 +70,24 @@ struct SystemConfig
      */
     unsigned lanes = 1;
 
+    // ---- CPI-stack attribution (DESIGN.md Section 9) ----
+
+    /**
+     * Arm the cycle-accounting CPI-stack and miss-genealogy layer:
+     * per-core leaf-cause attribution of every elapsed cycle plus
+     * per-request journey records with per-segment latency histograms.
+     * Pure observation — simulated results are byte-identical armed or
+     * not — and its stats land in a *separate* registry
+     * (CmpSystem::cpiStats(), mirroring laneStats()) so default stat
+     * dumps and determinism fingerprints never change. The
+     * CMPSIM_CPISTACK environment variable overrides this at
+     * CmpSystem construction ("0" or empty leaves it off). Refused in
+     * combination with checkpoint/restore (attribution windows and
+     * genealogy records are not checkpointed). Excluded from
+     * pointSpecBytes() like the other observation knobs.
+     */
+    bool cpi_stack = false;
+
     // ---- ablation knobs (DESIGN.md Section 4) ----
 
     /** One L2 prefetcher shared by all cores instead of per-core. */

@@ -226,6 +226,11 @@ DramBackend::pump(unsigned ci)
     q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
     --ch.banks[r.bank].pending;
 
+    // Row outcome must be read before service() rotates the bank's
+    // row-buffer state.
+    const Bank &rb = ch.banks[r.bank];
+    const bool row_hit = rb.row_open && rb.open_row == r.row;
+
     const Cycle data_end = service(ch, r, now);
     if (is_write) {
         ++inflight_writes_;
@@ -241,6 +246,8 @@ DramBackend::pump(unsigned ci)
         ++inflight_reads_;
         read_queue_wait_.sample(static_cast<double>(now - r.ready));
         const Cycle done_at = data_end + params_.ctrl_latency;
+        if (read_observer_)
+            read_observer_(r.line, now, done_at, row_hit);
         eq_.schedule(done_at,
                      [done = std::move(r.done), done_at] {
                          done(done_at);

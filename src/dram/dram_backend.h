@@ -71,7 +71,15 @@ class DramBackend
   public:
     using Done = std::function<void(Cycle)>;
 
+    /** Read-service observer: (line, service_start, done_at, row_hit).
+     *  Runs when a read is issued to its bank (serial event context);
+     *  pure observation for the miss-genealogy journal. */
+    using ReadObserver = std::function<void(Addr, Cycle, Cycle, bool)>;
+
     DramBackend(EventQueue &eq, const DramTimingParams &params);
+
+    /** Wire the read-service observer (empty disarms). */
+    void setReadObserver(ReadObserver obs) { read_observer_ = std::move(obs); }
 
     /**
      * Service a line read of @p segments stored segments arriving at
@@ -187,6 +195,7 @@ class DramBackend
 
     EventQueue &eq_;
     DramTimingParams params_;
+    ReadObserver read_observer_;
     std::vector<Channel> channels_;
     std::uint64_t next_seq_ = 0;
     std::uint64_t inflight_reads_ = 0;

@@ -1,6 +1,7 @@
 #include "src/mem/main_memory.h"
 
 #include "src/dram/dram_backend.h"
+#include "src/obs/cpi_stack.h"
 
 namespace cmpsim {
 
@@ -56,6 +57,8 @@ MainMemory::fetchStage2(Addr line_addr, Cycle when, LinkClass cls,
                         Cycle req_arrives)
 {
     const unsigned segments = dataSegments(line_addr);
+    if (journal_ != nullptr)
+        journal_->onMemRequestSent(line_addr, when, req_arrives, segments);
     ckpt::Tag send_tag =
         ckpt::tag(ckpt::kMemSendData, when,
                   static_cast<std::uint64_t>(cls), segments, 0,
@@ -71,6 +74,10 @@ MainMemory::fetchStage2(Addr line_addr, Cycle when, LinkClass cls,
                     req_arrives, std::move(send_data),
                     std::move(send_tag));
     } else {
+        if (journal_ != nullptr) {
+            journal_->onDramFixed(line_addr, req_arrives,
+                                  req_arrives + params_.dram_latency);
+        }
         send_data(req_arrives + params_.dram_latency);
     }
 }

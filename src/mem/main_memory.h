@@ -32,6 +32,7 @@ namespace cmpsim {
 
 class DramBackend;
 class InvariantRegistry;
+class MissJournal;
 
 /** Configuration of the off-chip memory path. */
 struct MemoryParams
@@ -86,6 +87,9 @@ class MainMemory
     DramBackend *dram() { return dram_.get(); }
     const DramBackend *dram() const { return dram_.get(); }
 
+    /** Wire the (opt-in) miss-genealogy journal; nullptr disarms. */
+    void setJournal(MissJournal *j) { journal_ = j; }
+
     std::uint64_t reads() const { return reads_.value(); }
     std::uint64_t writebacks() const { return writebacks_.value(); }
     std::uint64_t dataFlits() const { return data_flits_.value(); }
@@ -130,6 +134,7 @@ class MainMemory
     MemoryParams params_;
     PriorityLink link_;
     std::unique_ptr<DramBackend> dram_; ///< null when backend == Fixed
+    MissJournal *journal_ = nullptr;
 
     Counter reads_;
     Counter writebacks_;

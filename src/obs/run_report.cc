@@ -39,6 +39,28 @@ captureStats(const StatRegistry &reg, RunReport &report)
 }
 
 void
+captureCpiStats(const StatRegistry &reg, RunReport &report)
+{
+    report.cpi_stack.clear();
+    for (const std::string &name : reg.counterNames())
+        report.cpi_stack.emplace_back(name, reg.counter(name));
+
+    report.cpi_histograms.clear();
+    for (const std::string &name : reg.histogramNames()) {
+        const Histogram &h = reg.histogram(name);
+        HistogramReport hr;
+        hr.name = name;
+        hr.count = h.total();
+        hr.mean = h.mean();
+        hr.p50 = h.quantile(0.50);
+        hr.p90 = h.quantile(0.90);
+        hr.p99 = h.quantile(0.99);
+        hr.underflow = h.underflow();
+        report.cpi_histograms.push_back(std::move(hr));
+    }
+}
+
+void
 writeRunReport(std::ostream &os, const RunReport &report)
 {
     JsonWriter w(os);
@@ -79,6 +101,28 @@ writeRunReport(std::ostream &os, const RunReport &report)
         w.end();
     }
     w.end();
+
+    if (!report.cpi_stack.empty() || !report.cpi_histograms.empty()) {
+        w.beginObject("cpi_stack");
+        w.beginObject("counters");
+        for (const auto &[name, value] : report.cpi_stack)
+            w.keyValue(name.c_str(), value);
+        w.end();
+        w.beginArray("histograms");
+        for (const HistogramReport &h : report.cpi_histograms) {
+            w.beginObject();
+            w.keyValue("name", h.name);
+            w.keyValue("count", h.count);
+            w.keyValue("mean", h.mean);
+            w.keyValue("p50", h.p50);
+            w.keyValue("p90", h.p90);
+            w.keyValue("p99", h.p99);
+            w.keyValue("underflow", h.underflow);
+            w.end();
+        }
+        w.end();
+        w.end();
+    }
 
     w.beginObject("telemetry");
     w.keyValue("wall_seconds", report.wall_seconds);

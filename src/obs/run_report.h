@@ -69,6 +69,13 @@ struct RunReport
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<HistogramReport> histograms;
 
+    /** CPI-stack / miss-genealogy counters (CmpSystem::cpiStats()),
+     *  captured only when the layer is armed (--cpi-stack /
+     *  CMPSIM_CPISTACK); the "cpi_stack" object is omitted otherwise
+     *  so unarmed reports are byte-identical to older ones. */
+    std::vector<std::pair<std::string, std::uint64_t>> cpi_stack;
+    std::vector<HistogramReport> cpi_histograms;
+
     // Host-side telemetry (not part of the deterministic payload).
     double wall_seconds = 0.0;
     std::uint64_t max_rss_kb = 0;
@@ -80,6 +87,10 @@ std::uint64_t currentMaxRssKb();
 
 /** Copy every registered counter and histogram into @p report. */
 void captureStats(const StatRegistry &reg, RunReport &report);
+
+/** Copy the CPI-stack registry (CmpSystem::cpiStats()) into the
+ *  report's cpi_stack section. */
+void captureCpiStats(const StatRegistry &reg, RunReport &report);
 
 /** Serialize @p report as a pretty-printed JSON object. */
 void writeRunReport(std::ostream &os, const RunReport &report);

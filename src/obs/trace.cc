@@ -70,7 +70,8 @@ Tracer::nowWallUs() const
 void
 Tracer::emit(const char *name, char phase, std::uint64_t ts,
              unsigned pid, unsigned tid, std::uint64_t dur,
-             bool has_dur, bool instant_scope, TraceArgs args)
+             bool has_dur, bool instant_scope, TraceArgs args,
+             std::uint64_t id, bool has_id)
 {
     // One event per line: greppable, and a truncated tail is easy to
     // spot. Built outside the lock; only the write is serialized.
@@ -85,6 +86,10 @@ Tracer::emit(const char *name, char phase, std::uint64_t ts,
     if (has_dur) {
         line += ",\"dur\":";
         line += std::to_string(dur);
+    }
+    if (has_id) {
+        line += ",\"id\":";
+        line += std::to_string(id);
     }
     line += ",\"pid\":";
     line += std::to_string(pid);
@@ -156,6 +161,29 @@ Tracer::processName(unsigned pid, const std::string &name)
 {
     emit("process_name", 'M', 0, pid, 0, 0, false, false,
          {{"name", name.c_str()}});
+}
+
+void
+Tracer::threadName(unsigned pid, unsigned tid, const std::string &name)
+{
+    emit("thread_name", 'M', 0, pid, tid, 0, false, false,
+         {{"name", name.c_str()}});
+}
+
+void
+Tracer::asyncBegin(const char *name, Cycle cycle, std::uint64_t id,
+                   TraceArgs args)
+{
+    emit(name, 'b', cycle, tl_pid, tl_tid, 0, false, false, args, id,
+         /*has_id=*/true);
+}
+
+void
+Tracer::asyncEnd(const char *name, Cycle cycle, std::uint64_t id,
+                 TraceArgs args)
+{
+    emit(name, 'e', cycle, tl_pid, tl_tid, 0, false, false, args, id,
+         /*has_id=*/true);
 }
 
 TraceThreadScope::TraceThreadScope(unsigned pid, unsigned tid)

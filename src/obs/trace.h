@@ -111,13 +111,29 @@ class Tracer
     /** Name the pseudo-process @p pid in the trace viewer. */
     void processName(unsigned pid, const std::string &name);
 
+    /** Name thread @p tid of pseudo-process @p pid (Perfetto renders
+     *  the label instead of a bare tid). */
+    void threadName(unsigned pid, unsigned tid,
+                    const std::string &name);
+
+    /** Open an async span ('b') at simulated @p cycle; @p id pairs it
+     *  with the matching asyncEnd. Async spans may nest and overlap
+     *  freely — Perfetto groups them by (name, id). */
+    void asyncBegin(const char *name, Cycle cycle, std::uint64_t id,
+                    TraceArgs args = {});
+
+    /** Close the async span opened under the same (name, id). */
+    void asyncEnd(const char *name, Cycle cycle, std::uint64_t id,
+                  TraceArgs args = {});
+
     std::uint64_t eventsWritten() const { return events_; }
     const std::string &path() const { return path_; }
 
   private:
     void emit(const char *name, char phase, std::uint64_t ts,
               unsigned pid, unsigned tid, std::uint64_t dur,
-              bool has_dur, bool instant_scope, TraceArgs args);
+              bool has_dur, bool instant_scope, TraceArgs args,
+              std::uint64_t id = 0, bool has_id = false);
 
     std::string path_;
     std::ofstream out_;

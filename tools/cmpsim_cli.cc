@@ -23,6 +23,7 @@
 #include "src/common/sim_error.h"
 #include "src/core_api/cmp_system.h"
 #include "src/core_api/parallel_runner.h"
+#include "src/obs/cpi_stack.h"
 #include "src/obs/profiler.h"
 #include "src/obs/run_report.h"
 #include "src/obs/trace.h"
@@ -60,6 +61,7 @@ struct CliOptions
     std::uint64_t measure = 50000;
     std::uint64_t seed = 1;
     bool dump_stats = false;
+    bool cpi_stack = false;   ///< --cpi-stack: attribution layer
     std::string report_path;  ///< --report: JSON run report
     std::string trace_path;   ///< --trace: Chrome trace events
     std::string samples_path; ///< --samples: interval time-series
@@ -94,6 +96,10 @@ usage(int code)
         "  --measure N         timed instr/core (default 50000)\n"
         "  --seed N            RNG seed (default 1)\n"
         "  --stats             dump every registered counter\n"
+        "  --cpi-stack         arm CPI-stack / miss-genealogy\n"
+        "                      attribution (also CMPSIM_CPISTACK=1);\n"
+        "                      prints per-core stacks and adds a\n"
+        "                      cpi_stack section to --report\n"
         "  --report FILE       write a structured JSON run report\n"
         "  --trace FILE        write Chrome trace events (load in\n"
         "                      Perfetto / chrome://tracing); also\n"
@@ -171,6 +177,8 @@ parse(int argc, char **argv)
             o.seed = parse_uint(i++);
         } else if (a == "--stats") {
             o.dump_stats = true;
+        } else if (a == "--cpi-stack") {
+            o.cpi_stack = true;
         } else if (a == "--report") {
             o.report_path = need_value(i++);
         } else if (a == "--trace") {
@@ -219,6 +227,7 @@ run(const CliOptions &o)
     cfg.infinite_bandwidth = o.infinite_bw;
     cfg.adaptive_compression = o.adaptive_compression;
     cfg.seed = o.seed;
+    cfg.cpi_stack = o.cpi_stack;
     cfg.sample_interval = o.sample_cycles;
     if (!o.samples_path.empty() && cfg.sample_interval == 0 &&
         std::getenv("CMPSIM_SAMPLE_CYCLES") == nullptr)
@@ -268,6 +277,8 @@ run(const CliOptions &o)
         report.max_rss_kb = currentMaxRssKb();
         report.prof = profSnapshot();
         captureStats(system.stats(), report);
+        if (system.config().cpi_stack)
+            captureCpiStats(system.cpiStats(), report);
         std::ofstream out(o.report_path,
                           std::ios::binary | std::ios::trunc);
         if (!out.is_open()) {
@@ -321,6 +332,33 @@ run(const CliOptions &o)
         if (o.adaptive)
             std::printf("L2 adaptive counter %u / 25\n",
                         sys.l2Adaptive().counterValue());
+    }
+
+    if (sys.config().cpi_stack) {
+        // Per-core stacks: every attributed cycle belongs to exactly
+        // one leaf, so each line sums to that core's measured cycles.
+        std::printf("\n--- CPI stack (cycles per leaf) ---\n");
+        for (unsigned c = 0; c < o.cores; ++c) {
+            const CpiAccount *a = sys.cpiAccount(c);
+            if (a == nullptr)
+                continue;
+            std::printf("core %u:", c);
+            for (unsigned l = 0; l < kCpiLeafCount; ++l) {
+                const auto leaf = static_cast<CpiLeaf>(l);
+                const std::uint64_t v = a->leafCycles(leaf);
+                if (v != 0)
+                    std::printf(" %s=%llu", cpiLeafName(leaf),
+                                static_cast<unsigned long long>(v));
+            }
+            std::printf(" (pf_hidden=%llu)\n",
+                        static_cast<unsigned long long>(
+                            a->pfHiddenCycles()));
+        }
+        const MissJournal *j = sys.missJournal();
+        if (j != nullptr)
+            std::printf("journeys      %llu completed\n",
+                        static_cast<unsigned long long>(
+                            j->recordsCompleted()));
     }
 
     if (o.dump_stats) {

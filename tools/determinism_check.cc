@@ -190,6 +190,14 @@ checkCheckpointResume(const std::vector<std::string> &workloads,
     const std::string saved_sample = sample_env != nullptr ? sample_env : "";
     if (sample_env != nullptr)
         unsetenv("CMPSIM_SAMPLE_CYCLES");
+    // Same for the CPI-stack layer (CI's armed gate sets
+    // CMPSIM_CPISTACK for the other legs): genealogy records are not
+    // checkpointed, so this leg runs unarmed. The hashes still prove
+    // what the gate needs — stats() never depends on the layer.
+    const char *cpi_env = getenv("CMPSIM_CPISTACK");
+    const std::string saved_cpi = cpi_env != nullptr ? cpi_env : "";
+    if (cpi_env != nullptr)
+        unsetenv("CMPSIM_CPISTACK");
 
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         std::remove(path.c_str());
@@ -226,6 +234,8 @@ checkCheckpointResume(const std::vector<std::string> &workloads,
     }
     if (sample_env != nullptr)
         setenv("CMPSIM_SAMPLE_CYCLES", saved_sample.c_str(), 1);
+    if (cpi_env != nullptr)
+        setenv("CMPSIM_CPISTACK", saved_cpi.c_str(), 1);
     return status;
 }
 
