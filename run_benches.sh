@@ -129,8 +129,22 @@ suite_t1=$(date +%s.%N)
 overall_secs=$(awk -v a="$suite_t0" -v b="$suite_t1" \
   'BEGIN { printf "%.2f", b - a }')
 
+# Provenance: which tree produced these numbers, and on how many
+# hardware cores. A perf trajectory without either is guesswork —
+# "-dirty" marks a working tree with uncommitted changes.
+git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+if [ "$git_sha" != unknown ] && ! git diff --quiet HEAD 2>/dev/null; then
+  git_sha="$git_sha-dirty"
+fi
+host_nproc=$(nproc 2>/dev/null || echo 0)
+case "$host_nproc" in
+  ''|*[!0-9]*) host_nproc=0 ;;
+esac
+
 {
   echo "{"
+  echo "  \"git_sha\": \"$git_sha\","
+  echo "  \"nproc\": $host_nproc,"
   echo "  \"jobs\": $jobs,"
   # Wall-clock numbers are only comparable across runs that used the
   # same kernel sharding and simulation-worker counts, so record both

@@ -289,8 +289,12 @@ L1Cache::accessFunctionalImpl(Addr addr, bool is_write)
     ++accesses_;
 
     if (e != nullptr) {
-        if (e->prefetch)
-            onPrefetchBitHit(*e, 0);
+        if (e->prefetch) {
+            // Stream-advance prefetches issued here take the timed
+            // path; anchor them at the current cycle (0 during warmup)
+            // so a mid-run fast-forward never schedules into the past.
+            onPrefetchBitHit(*e, eq_.now());
+        }
         set.touch(line); // invalidates e
         e = set.find(line);
         if (is_write && !e->dirty) {

@@ -589,8 +589,11 @@ L2Cache::accessFunctional(unsigned cpu, Addr line, bool exclusive,
         if (type == ReqType::Demand) {
             ++demand_hits_;
             updateGcp(set, line, e->segments < kSegmentsPerLine);
+            // Anchor stream-advance prefetches at the current cycle
+            // (0 during warmup) so a mid-run fast-forward never
+            // schedules into the past.
             if (e->prefetch)
-                onPrefetchBitHit(cpu, *e, 0);
+                onPrefetchBitHit(cpu, *e, eq_.now());
         }
         set.touch(line); // invalidates e
         e = set.find(line);

@@ -105,6 +105,17 @@ checkpointFingerprint(const SystemConfig &c, const WorkloadParams &w)
     fpInt(s, "dram.refresh_cycles", d.refresh_cycles);
     fpInt(s, "dram.wq_high", d.write_high_watermark);
     fpInt(s, "dram.wq_low", d.write_low_watermark);
+    // Sampling-plan knobs appended only when armed so every unsampled
+    // fingerprint stays byte-identical to pre-sampling checkpoints.
+    // The plan is behavioural for a sampled run: a checkpoint taken
+    // mid-plan must resume under the *same* interval schedule.
+    if (c.sampling.armed()) {
+        fpInt(s, "sampling.ff", c.sampling.ff_per_core);
+        fpInt(s, "sampling.detail", c.sampling.detail_per_core);
+        fpInt(s, "sampling.n", c.sampling.max_intervals);
+        fpInt(s, "sampling.warm", c.sampling.warm_per_core);
+        fpDbl(s, "sampling.ci", c.sampling.ci_target_pct);
+    }
 
     s += "workload=";
     s += w.name;
@@ -1083,6 +1094,7 @@ CheckpointCodec::loadValues(ckpt::Decoder &d)
 {
     ValueStore &vs = *sys_.values_;
     vs.lines_.clear();
+    vs.dropFilter(); // cached node pointers die with the cleared map
     const std::uint64_t n = d.u64();
     for (std::uint64_t i = 0; i < n; ++i) {
         const Addr addr = d.u64();
@@ -1206,6 +1218,102 @@ CheckpointCodec::loadWorkload(ckpt::Decoder &d)
     }
 }
 
+namespace {
+
+/** StatSnapshot as sorted (name, value) lists — std::map iteration is
+ *  ordered, so the bytes are canonical for the roundtrip audit. */
+void
+encodeSnapshot(ckpt::Encoder &e, const StatSnapshot &s)
+{
+    e.u64(s.counters.size());
+    for (const auto &[name, v] : s.counters) {
+        e.str(name);
+        e.u64(v);
+    }
+    e.u64(s.averages.size());
+    for (const auto &[name, a] : s.averages) {
+        e.str(name);
+        e.dbl(a.sum);
+        e.u64(a.count);
+    }
+}
+
+void
+decodeSnapshot(ckpt::Decoder &d, StatSnapshot &s)
+{
+    s.counters.clear();
+    s.averages.clear();
+    const std::uint64_t ncounters = d.u64();
+    for (std::uint64_t i = 0; i < ncounters; ++i) {
+        const std::string name = d.str();
+        s.counters[name] = d.u64();
+    }
+    const std::uint64_t naverages = d.u64();
+    for (std::uint64_t i = 0; i < naverages; ++i) {
+        const std::string name = d.str();
+        StatSnapshot::Avg &a = s.averages[name];
+        a.sum = d.dbl();
+        a.count = d.u64();
+    }
+}
+
+} // namespace
+
+std::string
+CheckpointCodec::saveSample()
+{
+    // Sampling-plan progress (DESIGN.md §14): the interval cursor,
+    // the open interval's baseline snapshot, accumulated detail
+    // deltas and per-interval metric samples. The FastForwardEngine's
+    // own counters ride in the stats section; its conservation
+    // accumulators deliberately restart at zero after restore (both
+    // sides restart together, so the audit stays exact).
+    ckpt::Encoder e;
+    const SampleState &ss = sys_.sample_state_;
+    e.u32(ss.intervals_done);
+    e.boolean(ss.in_detail);
+    e.boolean(ss.stopped_early);
+    e.u64(ss.ff_instructions);
+    encodeSnapshot(e, ss.baseline);
+    encodeSnapshot(e, ss.detail_totals);
+    e.u64(ss.samples.size());
+    for (const IntervalSample &s : ss.samples) {
+        e.dbl(s.cycles);
+        e.dbl(s.instructions);
+        e.dbl(s.ipc);
+        e.dbl(s.l2_miss_rate);
+        e.dbl(s.l2_mpki);
+        e.dbl(s.bandwidth_gbps);
+        e.dbl(s.compression_ratio);
+    }
+    return e.take();
+}
+
+void
+CheckpointCodec::loadSample(ckpt::Decoder &d)
+{
+    SampleState &ss = sys_.sample_state_;
+    ss.intervals_done = d.u32();
+    ss.in_detail = d.boolean();
+    ss.stopped_early = d.boolean();
+    ss.ff_instructions = d.u64();
+    decodeSnapshot(d, ss.baseline);
+    decodeSnapshot(d, ss.detail_totals);
+    ss.samples.clear();
+    const std::uint64_t n = d.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        IntervalSample s;
+        s.cycles = d.dbl();
+        s.instructions = d.dbl();
+        s.ipc = d.dbl();
+        s.l2_miss_rate = d.dbl();
+        s.l2_mpki = d.dbl();
+        s.bandwidth_gbps = d.dbl();
+        s.compression_ratio = d.dbl();
+        ss.samples.push_back(s);
+    }
+}
+
 // ---------------------------------------------------------------
 // Container
 // ---------------------------------------------------------------
@@ -1225,6 +1333,11 @@ CheckpointCodec::save()
     sections.push_back({"dram", saveDram()});
     sections.push_back({"prefetch", savePrefetch()});
     sections.push_back({"events", saveEvents()});
+    // Conditional 12th section: present only when a sampling plan is
+    // armed, so unsampled checkpoints stay byte-identical to the
+    // pre-sampling format.
+    if (sys_.config_.sampling.armed())
+        sections.push_back({"sample", saveSample()});
     return ckpt::packFile(
         checkpointFingerprint(sys_.config_, sys_.workload_), sections);
 }
@@ -1271,6 +1384,8 @@ CheckpointCodec::restore(std::string_view bytes)
             loadPrefetch(d);
         else if (s.name == "events")
             loadEvents(d);
+        else if (s.name == "sample" && sys_.config_.sampling.armed())
+            loadSample(d);
         else
             throw ckpt::CorruptCheckpoint("unknown section " + s.name);
         d.expectEnd(s.name.c_str());
@@ -1283,6 +1398,13 @@ CheckpointCodec::restore(std::string_view bytes)
             throw ckpt::CorruptCheckpoint(
                 std::string("missing section ") + name);
         }
+    }
+    // The sample section is required exactly when the restoring
+    // config has an armed plan (the fingerprint already guarantees
+    // the saving config agreed).
+    if (sys_.config_.sampling.armed() && seen.count("sample") == 0) {
+        throw ckpt::CorruptCheckpoint(
+            "missing section sample (sampling plan is armed)");
     }
 }
 

@@ -83,6 +83,7 @@ class CheckpointCodec
     std::string saveValues();
     std::string savePrefetch();
     std::string saveWorkload();
+    std::string saveSample();
 
     // ---- section readers ----
     void loadSystem(ckpt::Decoder &d);
@@ -96,6 +97,7 @@ class CheckpointCodec
     void loadValues(ckpt::Decoder &d);
     void loadPrefetch(ckpt::Decoder &d);
     void loadWorkload(ckpt::Decoder &d);
+    void loadSample(ckpt::Decoder &d);
 
     // ---- continuation factory: rebuild closures from tag chains ----
 

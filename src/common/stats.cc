@@ -180,6 +180,56 @@ StatRegistry::resetAll()
     }
 }
 
+std::uint64_t
+StatSnapshot::counter(const std::string &name) const
+{
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+void
+StatSnapshot::accumulate(const StatSnapshot &delta)
+{
+    for (const auto &[name, v] : delta.counters)
+        counters[name] += v;
+    for (const auto &[name, a] : delta.averages) {
+        Avg &dst = averages[name];
+        dst.sum += a.sum;
+        dst.count += a.count;
+    }
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot s;
+    for (const auto &[name, stat] : counters_)
+        s.counters[name] = stat->value();
+    for (const auto &[name, stat] : averages_)
+        s.averages[name] = {stat->sum(), stat->count()};
+    return s;
+}
+
+StatSnapshot
+StatRegistry::delta(const StatSnapshot &after,
+                    const StatSnapshot &before)
+{
+    StatSnapshot d;
+    for (const auto &[name, v] : after.counters) {
+        const auto it = before.counters.find(name);
+        d.counters[name] =
+            v - (it == before.counters.end() ? 0 : it->second);
+    }
+    for (const auto &[name, a] : after.averages) {
+        StatSnapshot::Avg base;
+        const auto it = before.averages.find(name);
+        if (it != before.averages.end())
+            base = it->second;
+        d.averages[name] = {a.sum - base.sum, a.count - base.count};
+    }
+    return d;
+}
+
 double
 Histogram::quantile(double p) const
 {

@@ -176,6 +176,34 @@ class Histogram
 };
 
 /**
+ * Value snapshot of every registered counter and average, keyed by
+ * name (DESIGN.md §14). The statistical sampling engine captures one
+ * at each detailed-interval boundary and differences consecutive
+ * snapshots to get per-interval metric deltas; histograms are
+ * excluded (interval metrics are means and rates, and bucket arrays
+ * would bloat every interval-boundary checkpoint).
+ */
+struct StatSnapshot
+{
+    /** Sum/count pair of one Average at snapshot time. */
+    struct Avg
+    {
+        double sum = 0.0;
+        std::uint64_t count = 0;
+    };
+
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, Avg> averages;
+
+    /** Counter value, 0 when absent (a stat registered mid-plan). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Add @p delta into this snapshot (accumulating interval deltas
+     *  into a running total). */
+    void accumulate(const StatSnapshot &delta);
+};
+
+/**
  * Name -> stat-pointer registry. Components register their counters
  * under a hierarchical dotted prefix ("l2.misses"); the registry can
  * dump everything or resolve one value for tests and benches.
@@ -236,6 +264,20 @@ class StatRegistry
 
     /** Reset every registered stat to zero (start of measurement). */
     void resetAll();
+
+    // ---- interval sampling (DESIGN.md §14) ----
+
+    /** Capture every registered counter and average by value. */
+    StatSnapshot snapshot() const;
+
+    /**
+     * Per-name difference @p after - @p before: counter deltas and
+     * average sum/count deltas. Names absent from @p before (stats
+     * registered between snapshots) count from zero; names absent
+     * from @p after are dropped.
+     */
+    static StatSnapshot delta(const StatSnapshot &after,
+                              const StatSnapshot &before);
 
   private:
     std::map<std::string, const Counter *> counters_;

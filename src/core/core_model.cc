@@ -332,6 +332,58 @@ CoreModel::runFunctional(std::uint64_t count)
 }
 
 void
+CoreModel::runSkip(std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Instruction in = stream_.next();
+        const Addr iline = lineAddr(in.pc);
+        if (iline != last_fetch_line_) {
+            ++ifetch_lines_;
+            last_fetch_line_ = iline;
+        }
+        switch (in.type) {
+          case InstrType::Load:
+            ++loads_;
+            break;
+          case InstrType::Store:
+            ++stores_;
+            values_.writeWord(in.addr & ~static_cast<Addr>(3),
+                              in.store_value);
+            break;
+          case InstrType::Branch:
+            ++branches_;
+            if (in.mispredict)
+                ++mispredicts_;
+            break;
+          case InstrType::Alu:
+            break;
+        }
+        ++retired_;
+    }
+}
+
+void
+CoreModel::adoptSkip(const CoreModel &leader, std::uint64_t count,
+                     std::uint64_t slack)
+{
+    cmpsim_assert(cpu_ == leader.cpu_);
+    // The timed detail window's budget is a *total* across cores, so
+    // per-core retirement drifts by up to the window length between
+    // configurations; adoption resynchronizes to the leader's cursor.
+    // A gap outside skip-length +/- one detail window means the
+    // systems were never in lockstep at all.
+    const std::uint64_t gap = leader.retired_.value() - retired_.value();
+    cmpsim_assert(gap + slack >= count && gap <= count + slack);
+    retired_.restore(leader.retired_.value());
+    loads_.restore(leader.loads_.value());
+    stores_.restore(leader.stores_.value());
+    branches_.restore(leader.branches_.value());
+    mispredicts_.restore(leader.mispredicts_.value());
+    ifetch_lines_.restore(leader.ifetch_lines_.value());
+    last_fetch_line_ = leader.last_fetch_line_;
+}
+
+void
 CoreModel::registerStats(StatRegistry &reg, const std::string &prefix)
 {
     reg.registerCounter(prefix + ".retired", &retired_);

@@ -74,6 +74,31 @@ class CoreModel
      */
     void runFunctional(std::uint64_t count);
 
+    /**
+     * Pure fast-forward: advance @p count instructions of the stream
+     * — identical RNG draws, value-store first touches and store
+     * writes as runFunctional(), so a later functional or detailed
+     * phase continues the exact same workload — but with no cache or
+     * prefetcher state updates. The cheap half of a SMARTS-style
+     * skip+warm fast-forward (DESIGN.md §14).
+     */
+    void runSkip(std::uint64_t count);
+
+    /**
+     * Adopt the outcome of a pure-skip phase a lockstep twin executed
+     * on this core's behalf (shared-prefix fast-forward, DESIGN.md
+     * §14): copy the fetch cursor and the stream-content counters
+     * runSkip() would have advanced, resynchronizing this core to the
+     * leader's instruction index. The caller separately copies the
+     * workload generator state and replays the twin's value-store
+     * journal; @p count is the per-core skip length just executed and
+     * @p slack the per-core drift a timed detail window can introduce
+     * (its total budget) — the twins' retirement gap is asserted to be
+     * count within +/- slack.
+     */
+    void adoptSkip(const CoreModel &leader, std::uint64_t count,
+                   std::uint64_t slack);
+
     unsigned cpu() const { return cpu_; }
 
     /** Attach the (opt-in) CPI-stack account this core reports its

@@ -299,6 +299,24 @@ CmpSystem::buildSystem()
         });
     }
 
+    if (config_.sampling.armed()) {
+        // Statistical sampling (DESIGN.md §14): the fast-forward
+        // engine exists only when a plan is armed so unsampled runs
+        // register no extra stats and their dumps stay byte-identical.
+        std::vector<CoreModel *> raw;
+        for (auto &core : cores_)
+            raw.push_back(core.get());
+        ff_engine_ = std::make_unique<FastForwardEngine>(std::move(raw),
+                                                         *l2_);
+        ff_engine_->registerStats(registry_, "sample");
+        // Conservation: functional execution must retire exactly the
+        // budget handed out — a skipped or double-counted instruction
+        // would silently bias every sampled metric.
+        audits_.add("sample.conservation", [this](std::string &why) {
+            return ff_engine_->conserved(why);
+        });
+    }
+
     if (lanes > 1) {
         // Lane worker crew: lanes - 1 long-lived tasks on a dedicated
         // pool (the coordinator ticks lane 0 inline). Each lane's work
@@ -830,6 +848,82 @@ CmpSystem::initRunState(std::uint64_t instr_per_core)
     rs.last_progress = rs.start;
     rs.last_retired = rs.start_retired;
     run_state_ = rs;
+}
+
+void
+CmpSystem::fastForward(std::uint64_t instr_per_core,
+                       std::uint64_t warm_per_core)
+{
+    cmpsim_assert(ff_engine_ != nullptr);
+    Tracer *tracer = Tracer::armed();
+    const std::uint64_t t0 = tracer != nullptr ? tracer->nowWallUs() : 0;
+
+    // Drain to quiescence first: functional accesses evict lines, and
+    // a pending fill completing into an evicted tag would corrupt the
+    // set. The loop terminates because pending events only complete
+    // existing work (DRAM refresh is lazy, cores create new events
+    // only via tick(), which the drain never calls).
+    for (;;) {
+        const Cycle next = nextPendingEventCycle();
+        if (next == kCycleNever)
+            break;
+        drainMergedTo(std::max(next, eq_.now()));
+    }
+
+    ff_engine_->advance(instr_per_core, warm_per_core);
+    sample_state_.ff_instructions +=
+        instr_per_core * static_cast<std::uint64_t>(config_.cores);
+
+    if (tracer != nullptr) {
+        tracer->completeWall("phase.fastforward", t0, tracer->nowWallUs(),
+                             {{"instr_per_core", instr_per_core}});
+    }
+}
+
+std::vector<ValueStore::Op>
+CmpSystem::fastForwardJournaled(std::uint64_t instr_per_core)
+{
+    values_->startJournal();
+    fastForward(instr_per_core, 0);
+    return values_->takeJournal();
+}
+
+void
+CmpSystem::adoptSkip(const CmpSystem &leader,
+                     const std::vector<ValueStore::Op> &ops,
+                     std::uint64_t instr_per_core)
+{
+    cmpsim_assert(ff_engine_ != nullptr);
+    cmpsim_assert(config_.cores == leader.config_.cores);
+    cmpsim_assert(config_.seed == leader.config_.seed);
+    cmpsim_assert(workload_.name == leader.workload_.name);
+
+    // Same pre-condition as fastForward(): functional state must not
+    // change under pending timed events.
+    for (;;) {
+        const Cycle next = nextPendingEventCycle();
+        if (next == kCycleNever)
+            break;
+        drainMergedTo(std::max(next, eq_.now()));
+    }
+
+    // The timed detail windows between skips spend a *total* budget,
+    // so per-core retirement drifts across configurations by up to
+    // one window; adoption is a resync to the leader's cursors, and
+    // the drift bounds the per-core gap check inside.
+    const std::uint64_t slack =
+        config_.sampling.detail_per_core *
+        static_cast<std::uint64_t>(config_.cores);
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        streams_[i]->copyStateFrom(*leader.streams_[i]);
+        cores_[i]->adoptSkip(*leader.cores_[i], instr_per_core, slack);
+    }
+    values_->applyOps(ops);
+
+    const std::uint64_t budget =
+        instr_per_core * static_cast<std::uint64_t>(config_.cores);
+    ff_engine_->noteAdopted(budget);
+    sample_state_.ff_instructions += budget;
 }
 
 std::string

@@ -27,6 +27,8 @@
 #include "src/compression/fpc.h"
 #include "src/core_api/system_config.h"
 #include "src/obs/interval_sampler.h"
+#include "src/sample/fast_forward.h"
+#include "src/sample/sample_state.h"
 #include "src/sim/lane.h"
 #include "src/workload/synthetic_workload.h"
 
@@ -116,6 +118,65 @@ class CmpSystem
 
     /** Sum a per-core counter family ("l1d.<cpu>.<leaf>"). */
     std::uint64_t sumL1Counter(const char *side, const char *leaf) const;
+
+    // ---- statistical sampling (DESIGN.md §14) ----
+
+    /**
+     * Budgeted functional fast-forward between detailed intervals:
+     * drain every event queue to quiescence (functional execution
+     * must not race pending fills holding tag references), then
+     * advance every core @p instr_per_core instructions through the
+     * FastForwardEngine with no event timing. Unlike warmup() this
+     * does NOT reset stats — the SamplingController brackets detailed
+     * intervals with snapshots instead — and it requires an armed
+     * config.sampling plan (the engine only exists then). Only the
+     * last @p warm_per_core instructions (clamped; default all) run
+     * in functional-warming mode; any prefix runs in pure skip mode
+     * (see FastForwardEngine::advance()).
+     */
+    void fastForward(std::uint64_t instr_per_core,
+                     std::uint64_t warm_per_core =
+                         ~static_cast<std::uint64_t>(0));
+
+    /**
+     * Leader half of shared-prefix fast-forward (DESIGN.md §14): run
+     * a pure-skip fastForward(instr_per_core, 0) while journaling
+     * every value-store mutation, and return the journal. A pure-skip
+     * phase touches no cache, prefetcher or timing state, so its
+     * outcome (workload cursor + value-store delta) is identical for
+     * every configuration of the same workload and seed — lockstep
+     * twins can adopt it instead of re-executing the stream.
+     */
+    std::vector<ValueStore::Op>
+    fastForwardJournaled(std::uint64_t instr_per_core);
+
+    /**
+     * Follower half: jump this system over a pure-skip phase @p
+     * leader just executed via fastForwardJournaled() — drain to
+     * quiescence, copy the per-core workload cursors and skip
+     * counters, and replay the value-store journal. Requires lockstep
+     * twins: same workload, seed and core count, and this system at
+     * exactly instr_per_core retired instructions behind the leader
+     * (asserted per core).
+     */
+    void adoptSkip(const CmpSystem &leader,
+                   const std::vector<ValueStore::Op> &ops,
+                   std::uint64_t instr_per_core);
+
+    /**
+     * Sampling-plan progress (interval cursor, per-interval metric
+     * samples, accumulated stat deltas). Lives here rather than in
+     * the SamplingController so CheckpointCodec serializes it: a
+     * mid-plan autosave restores to the exact interval boundary or
+     * mid-interval point and the finished run's report is
+     * byte-identical to the uninterrupted one.
+     */
+    SampleState &sampleState() { return sample_state_; }
+    const SampleState &sampleState() const { return sample_state_; }
+
+    /** The fast-forward engine, or nullptr when config.sampling is
+     *  not armed. */
+    FastForwardEngine *fastForwardEngine() { return ff_engine_.get(); }
 
     /** Effective event-kernel lane count (config.lanes clamped to the
      *  core count); 1 means the single-threaded kernel. */
@@ -262,6 +323,9 @@ class CmpSystem
     InvariantRegistry audits_;
     Average ratio_samples_;
     std::unique_ptr<IntervalSampler> sampler_;
+
+    std::unique_ptr<FastForwardEngine> ff_engine_; ///< see fastForward()
+    SampleState sample_state_;                     ///< see sampleState()
 
     ckpt::Settings ckpt_settings_;
     RunState run_state_;

@@ -52,6 +52,29 @@ struct RunResult
     double useless_prefetches = 0;
     double harmful_flags = 0;
     double victim_tags_per_set = 0;
+
+    /**
+     * Statistical sampling (DESIGN.md §14): populated when the run
+     * used an armed config.sampling plan. The headline fields above
+     * then aggregate over exactly the detailed intervals (counter
+     * deltas bracketing each measured window), and these summaries
+     * carry the per-interval mean / 95% CI of each metric.
+     */
+    struct SampledMetrics
+    {
+        bool armed = false;
+        unsigned intervals = 0;     ///< intervals actually measured
+        bool stopped_early = false; ///< CI stopping rule fired
+        double ff_instructions = 0; ///< fast-forwarded, all cores
+
+        SampleSummary cycles;
+        SampleSummary ipc;
+        SampleSummary l2_miss_rate;
+        SampleSummary l2_mpki;
+        SampleSummary bandwidth_gbps;
+        SampleSummary compression_ratio;
+    };
+    SampledMetrics sampled;
 };
 
 /** Run-length policy (overridable via environment; see options.cc). */
@@ -81,7 +104,13 @@ unsigned defaultSeeds();
  */
 std::uint64_t envUint64Or(const char *name, std::uint64_t fallback);
 
-/** Build a system, warm it up, run it, and extract metrics. */
+/**
+ * Build a system, warm it up, run it, and extract metrics. When
+ * config.sampling is armed the run executes the sampling plan instead
+ * of one contiguous lengths.measure_per_core window (which is then
+ * ignored — the plan's detail_per_core defines the measured length)
+ * and RunResult::sampled carries the per-interval CIs.
+ */
 RunResult runOnce(const SystemConfig &config,
                   const std::string &benchmark,
                   const RunLengths &lengths);
@@ -90,6 +119,10 @@ RunResult runOnce(const SystemConfig &config,
 struct MetricSummary
 {
     SampleSummary cycles;
+    /** Over-seed IPC summary. Recomputed from runs wherever cycles
+     *  is (aggregatePoint), never serialized: journal bodies written
+     *  before it existed parse unchanged. */
+    SampleSummary ipc;
     std::vector<RunResult> runs;
 };
 

@@ -285,11 +285,15 @@ appendHex(std::string &out, const char *name, double v)
 void
 aggregatePoint(MetricSummary &summary)
 {
-    std::vector<double> cycle_samples;
+    std::vector<double> cycle_samples, ipc_samples;
     cycle_samples.reserve(summary.runs.size());
-    for (const auto &r : summary.runs)
+    ipc_samples.reserve(summary.runs.size());
+    for (const auto &r : summary.runs) {
         cycle_samples.push_back(r.cycles);
+        ipc_samples.push_back(r.ipc);
+    }
     summary.cycles = summarize(cycle_samples);
+    summary.ipc = summarize(ipc_samples);
 }
 
 const char *
@@ -618,6 +622,32 @@ summaryBytes(const MetricSummary &summary)
         appendHex(out, "useless", r.useless_prefetches);
         appendHex(out, "harmful", r.harmful_flags);
         appendHex(out, "victim_tags", r.victim_tags_per_set);
+        // Sampled-run block, appended only when the run used an armed
+        // sampling plan: unsampled journal bodies stay byte-identical
+        // to the pre-sampling format (same gating idea as the DRAM
+        // knobs in pointSpecBytes).
+        if (r.sampled.armed) {
+            const RunResult::SampledMetrics &sm = r.sampled;
+            out += "sampling.intervals=" +
+                   std::to_string(sm.intervals) + "\n";
+            out += "sampling.stopped_early=" +
+                   std::to_string(sm.stopped_early ? 1 : 0) + "\n";
+            appendHex(out, "sampling.ff_instructions",
+                      sm.ff_instructions);
+            const std::pair<const char *, const SampleSummary *>
+                metrics[] = {
+                    {"cycles", &sm.cycles},
+                    {"ipc", &sm.ipc},
+                    {"l2_miss_rate", &sm.l2_miss_rate},
+                    {"l2_mpki", &sm.l2_mpki},
+                    {"bandwidth_gbps", &sm.bandwidth_gbps},
+                    {"compression_ratio", &sm.compression_ratio}};
+            for (const auto &[name, s] : metrics) {
+                const std::string key = std::string("sampling.") + name;
+                appendHex(out, (key + ".mean").c_str(), s->mean);
+                appendHex(out, (key + ".ci95").c_str(), s->ci95);
+            }
+        }
     }
     return out;
 }
@@ -690,6 +720,45 @@ parseSummaryBytes(const std::string &bytes, MetricSummary &out)
             !readValue("harmful", r.harmful_flags) ||
             !readValue("victim_tags", r.victim_tags_per_set))
             return false;
+        // Optional sampled-run block: presence is detected by peeking
+        // for the "sampling." prefix, so journal bodies written before
+        // the sampling engine existed still parse.
+        if (bytes.compare(pos, 9, "sampling.") == 0) {
+            RunResult::SampledMetrics &sm = r.sampled;
+            std::string line;
+            if (!nextLine(line) ||
+                line.compare(0, 19, "sampling.intervals=") != 0)
+                return false;
+            char *iend = nullptr;
+            sm.intervals = static_cast<unsigned>(
+                std::strtoul(line.c_str() + 19, &iend, 10));
+            if (iend != line.c_str() + line.size())
+                return false;
+            if (!nextLine(line))
+                return false;
+            if (line == "sampling.stopped_early=1")
+                sm.stopped_early = true;
+            else if (line != "sampling.stopped_early=0")
+                return false;
+            if (!readValue("sampling.ff_instructions",
+                           sm.ff_instructions))
+                return false;
+            const std::pair<const char *, SampleSummary *> metrics[] = {
+                {"cycles", &sm.cycles},
+                {"ipc", &sm.ipc},
+                {"l2_miss_rate", &sm.l2_miss_rate},
+                {"l2_mpki", &sm.l2_mpki},
+                {"bandwidth_gbps", &sm.bandwidth_gbps},
+                {"compression_ratio", &sm.compression_ratio}};
+            for (const auto &[name, s] : metrics) {
+                const std::string key = std::string("sampling.") + name;
+                if (!readValue((key + ".mean").c_str(), s->mean) ||
+                    !readValue((key + ".ci95").c_str(), s->ci95))
+                    return false;
+                s->n = sm.intervals;
+            }
+            sm.armed = true;
+        }
         out.runs.push_back(r);
     }
     if (n != out.runs.size())
@@ -758,6 +827,18 @@ pointSpecBytes(const PointSpec &spec)
         kv("dram.refresh_cycles", d.refresh_cycles);
         kv("dram.wq_high", d.write_high_watermark);
         kv("dram.wq_low", d.write_low_watermark);
+    }
+    // Sampling-plan knobs use the same gating: the plan changes the
+    // measurement protocol (interval schedule, hence every measured
+    // number), so it is behavioural — but appending it only when
+    // armed keeps every unsampled fingerprint, and every journal
+    // written before the sampling engine existed, valid.
+    if (c.sampling.armed()) {
+        kv("sampling.ff", c.sampling.ff_per_core);
+        kv("sampling.detail", c.sampling.detail_per_core);
+        kv("sampling.n", c.sampling.max_intervals);
+        kv("sampling.warm", c.sampling.warm_per_core);
+        appendHex(out, "sampling.ci", c.sampling.ci_target_pct);
     }
     out += "benchmark=" + spec.benchmark + "\n";
     kv("warmup_per_core", spec.lengths.warmup_per_core);

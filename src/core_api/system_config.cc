@@ -93,6 +93,27 @@ SystemConfig::validate() const
     // DRAM knobs must always be arm-able, whichever backend is
     // selected (validateDramParams throws knob-named ConfigErrors).
     validateDramParams(dram);
+
+    if (sampling.armed()) {
+        if (sampling.detail_per_core == 0) {
+            reject("config.sampling",
+                   "sampling plan needs detail_per_core >= 1 (a plan "
+                   "of pure fast-forward measures nothing)");
+        }
+        if (!(sampling.ci_target_pct >= 0.0) ||
+            sampling.ci_target_pct >= 100.0 ||
+            !std::isfinite(sampling.ci_target_pct)) {
+            reject("config.sampling",
+                   "ci target must be in [0, 100) percent, got " +
+                       std::to_string(sampling.ci_target_pct));
+        }
+        if (cpi_stack) {
+            reject("config.sampling",
+                   "statistical sampling cannot be combined with the "
+                   "CPI-stack layer: attribution windows do not span "
+                   "the fast-forward gaps between intervals");
+        }
+    }
 }
 
 L1Params
@@ -191,6 +212,9 @@ makeConfig(unsigned cores, unsigned scale, bool cache_compression,
     // some later layer) so batch fingerprints and journal keys see
     // the armed backend.
     applyDramEnv(c.dram);
+    // Same contract for CMPSIM_SAMPLING: the plan changes measured
+    // numbers, so it must land in the config that feeds fingerprints.
+    applySamplingEnv(c.sampling);
     return c;
 }
 

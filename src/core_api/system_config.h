@@ -16,6 +16,7 @@
 #include "src/core/core_model.h"
 #include "src/mem/main_memory.h"
 #include "src/prefetch/stride_prefetcher.h"
+#include "src/sample/sampling_plan.h"
 
 namespace cmpsim {
 
@@ -126,6 +127,25 @@ struct SystemConfig
      * see parseDramSpec) so every entry point can arm it.
      */
     DramTimingParams dram;
+
+    // ---- statistical sampling (DESIGN.md Section 14) ----
+
+    /**
+     * Statistical sampling plan: when armed (max_intervals > 0), a
+     * run alternates functional fast-forward and detailed measurement
+     * intervals per the plan instead of one contiguous timed run, and
+     * every metric carries a 95% confidence interval over the
+     * intervals. makeConfig() applies the CMPSIM_SAMPLING environment
+     * spec ("<ff>:<detail>:<n>[:ci<pct>]", see SamplingPlan::parse)
+     * so batch fingerprints and journal keys see the plan — sampling
+     * changes the measurement protocol, hence the measured numbers,
+     * so unlike lanes/audit knobs it IS part of pointSpecBytes()
+     * (appended only when armed, keeping unsampled fingerprints
+     * byte-identical to older journals). Refused in combination with
+     * the CPI-stack layer (attribution windows do not span the
+     * fast-forward gaps between intervals).
+     */
+    SamplingPlan sampling;
 
     // ---- invariant audits (DESIGN.md Section 6) ----
 

@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/line_data.h"
+#include "src/common/log.h"
 #include "src/common/types.h"
 #include "src/compression/compressor.h"
 
@@ -36,7 +38,7 @@ class ValueStore
     bool
     hasLine(Addr addr) const
     {
-        return lines_.count(lineAddr(addr)) != 0;
+        return findCached(lineAddr(addr)) != nullptr;
     }
 
     /**
@@ -48,15 +50,17 @@ class ValueStore
     line(Addr addr) const
     {
         static const LineData zero{};
-        auto it = lines_.find(lineAddr(addr));
-        return it == lines_.end() ? zero : it->second.data;
+        const Entry *e = findCached(lineAddr(addr));
+        return e == nullptr ? zero : e->data;
     }
 
     /** Replace the whole line containing @p addr. */
     void
     setLine(Addr addr, const LineData &data)
     {
-        auto &e = lines_[lineAddr(addr)];
+        if (journaling_)
+            journal_.push_back({addr, data, 0, true});
+        Entry &e = ensure(lineAddr(addr));
         e.data = data;
         e.segments_valid = false;
     }
@@ -65,9 +69,53 @@ class ValueStore
     void
     writeWord(Addr addr, std::uint32_t value)
     {
-        auto &e = lines_[lineAddr(addr)];
+        if (journaling_) {
+            journal_.push_back({addr, LineData{}, value, false});
+        }
+        Entry &e = ensure(lineAddr(addr));
         setLineWord(e.data, lineOffset(addr) / 4, value);
         e.segments_valid = false;
+    }
+
+    /** One recorded mutation (lockstep skip sharing, DESIGN.md §14). */
+    struct Op
+    {
+        Addr addr;
+        LineData data;       ///< whole-line payload (whole_line only)
+        std::uint32_t word;  ///< store value (word writes only)
+        bool whole_line;
+    };
+
+    /** Start recording every setLine()/writeWord() into a journal.
+     *  Replaying the journal through applyOps() reproduces this
+     *  store's mutations on a lockstep twin whose workload position
+     *  matches — the follower half of shared-prefix fast-forward. */
+    void
+    startJournal()
+    {
+        journal_.clear();
+        journaling_ = true;
+    }
+
+    /** Stop recording and hand the journal to the caller. */
+    std::vector<Op>
+    takeJournal()
+    {
+        journaling_ = false;
+        return std::move(journal_);
+    }
+
+    /** Replay a journal recorded by a lockstep twin, in order. */
+    void
+    applyOps(const std::vector<Op> &ops)
+    {
+        cmpsim_assert(!journaling_);
+        for (const Op &op : ops) {
+            if (op.whole_line)
+                setLine(op.addr, op.data);
+            else
+                writeWord(op.addr, op.word);
+        }
     }
 
     /**
@@ -77,15 +125,14 @@ class ValueStore
     unsigned
     segments(Addr addr)
     {
-        auto it = lines_.find(lineAddr(addr));
-        if (it == lines_.end())
+        Entry *e = findCached(lineAddr(addr));
+        if (e == nullptr)
             return zero_segments();
-        auto &e = it->second;
-        if (!e.segments_valid) {
-            e.segments = compressor_.compressedSegments(e.data);
-            e.segments_valid = true;
+        if (!e->segments_valid) {
+            e->segments = compressor_.compressedSegments(e->data);
+            e->segments_valid = true;
         }
-        return e.segments;
+        return e->segments;
     }
 
     std::size_t lineCount() const { return lines_.size(); }
@@ -110,9 +157,68 @@ class ValueStore
         return zero_segments_;
     }
 
+    /**
+     * Look up @p line through a small direct-mapped filter of
+     * known-present lines. Every functionally executed data access
+     * probes the store (touchLine, writeWord, fill-path reads); with
+     * hundreds of thousands of resident lines each probe is a couple
+     * of cache misses in the hash table, while the filter catches the
+     * heavy reuse of record/stream/hot lines. Caching only positives
+     * keeps it exact: lines are never erased outside restore (which
+     * calls dropFilter()), so a cached node pointer — stable in
+     * unordered_map — never goes stale.
+     */
+    Entry *
+    findCached(Addr line) const
+    {
+        const std::size_t slot = (line >> 6) & (kFilterSlots - 1);
+        if (filter_line_[slot] == line)
+            return filter_entry_[slot];
+        auto it = lines_.find(line);
+        if (it == lines_.end())
+            return nullptr;
+        filter_line_[slot] = line;
+        filter_entry_[slot] =
+            const_cast<Entry *>(&it->second);
+        return filter_entry_[slot];
+    }
+
+    /** Find-or-insert @p line, keeping the filter coherent. */
+    Entry &
+    ensure(Addr line)
+    {
+        if (Entry *e = findCached(line))
+            return *e;
+        Entry &e = lines_[line];
+        const std::size_t slot = (line >> 6) & (kFilterSlots - 1);
+        filter_line_[slot] = line;
+        filter_entry_[slot] = &e;
+        return e;
+    }
+
+    /** Invalidate the filter after lines_ is rebuilt (ckpt restore). */
+    void
+    dropFilter()
+    {
+        for (std::size_t i = 0; i < kFilterSlots; ++i) {
+            filter_line_[i] = kNoLine;
+            filter_entry_[i] = nullptr;
+        }
+    }
+
+    static constexpr std::size_t kFilterSlots = 8;
+    /** Line addresses are 64-byte aligned, so all-ones never occurs. */
+    static constexpr Addr kNoLine = ~static_cast<Addr>(0);
+
     const Compressor &compressor_;
     std::unordered_map<Addr, Entry> lines_;
+    bool journaling_ = false;
+    std::vector<Op> journal_;
     unsigned zero_segments_ = 0;
+    mutable Addr filter_line_[kFilterSlots] = {
+        kNoLine, kNoLine, kNoLine, kNoLine,
+        kNoLine, kNoLine, kNoLine, kNoLine};
+    mutable Entry *filter_entry_[kFilterSlots] = {};
 };
 
 } // namespace cmpsim

@@ -1,0 +1,91 @@
+#include "src/sample/fast_forward.h"
+
+#include <algorithm>
+
+#include "src/cache/l2_cache.h"
+#include "src/common/log.h"
+#include "src/core/core_model.h"
+#include "src/sim/fault_injection.h"
+
+namespace cmpsim {
+
+namespace {
+/** Interleave granularity, matching CmpSystem::warmup()'s chunking so
+ *  the shared L2 sees the same realistic core mix. */
+constexpr std::uint64_t kFfChunk = 2000;
+} // namespace
+
+FastForwardEngine::FastForwardEngine(std::vector<CoreModel *> cores,
+                                     L2Cache &l2)
+    : cores_(std::move(cores)), l2_(l2)
+{
+    cmpsim_assert(!cores_.empty());
+}
+
+std::uint64_t
+FastForwardEngine::retiredTotal() const
+{
+    std::uint64_t total = 0;
+    for (const CoreModel *core : cores_)
+        total += core->instructionsRetired();
+    return total;
+}
+
+void
+FastForwardEngine::advance(std::uint64_t instr_per_core,
+                           std::uint64_t warm_per_core)
+{
+    const std::uint64_t before = retiredTotal();
+    const std::uint64_t warm =
+        std::min(warm_per_core, instr_per_core);
+    const std::uint64_t skip = instr_per_core - warm;
+    l2_.setFunctionalMode(true);
+    std::uint64_t done = 0;
+    while (done < instr_per_core) {
+        faultSite("sample.ff");
+        checkPointDeadline("sample.ff");
+        const std::uint64_t chunk =
+            std::min(kFfChunk, instr_per_core - done);
+        if (done < skip) {
+            // Clamp so no chunk straddles the skip/warm boundary.
+            const std::uint64_t c = std::min(chunk, skip - done);
+            for (CoreModel *core : cores_)
+                core->runSkip(c);
+            done += c;
+            skip_instructions_ += c * cores_.size();
+        } else {
+            for (CoreModel *core : cores_)
+                core->runFunctional(chunk);
+            done += chunk;
+        }
+        ++chunks_;
+    }
+    l2_.setFunctionalMode(false);
+    const std::uint64_t budget = instr_per_core * cores_.size();
+    instructions_ += budget;
+    expected_ += budget;
+    observed_ += retiredTotal() - before;
+}
+
+bool
+FastForwardEngine::conserved(std::string &why) const
+{
+    if (observed_ == expected_)
+        return true;
+    why = "fast-forward retired " + std::to_string(observed_) +
+          " instructions against a budget of " +
+          std::to_string(expected_);
+    return false;
+}
+
+void
+FastForwardEngine::registerStats(StatRegistry &reg,
+                                 const std::string &prefix)
+{
+    reg.registerCounter(prefix + ".ff_instructions", &instructions_);
+    reg.registerCounter(prefix + ".ff_skip_instructions",
+                        &skip_instructions_);
+    reg.registerCounter(prefix + ".ff_chunks", &chunks_);
+}
+
+} // namespace cmpsim

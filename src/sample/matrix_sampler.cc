@@ -1,0 +1,54 @@
+#include "src/sample/matrix_sampler.h"
+
+#include "src/common/log.h"
+#include "src/core_api/cmp_system.h"
+
+namespace cmpsim {
+
+MatrixSampler::MatrixSampler(std::vector<CmpSystem *> systems)
+    : systems_(std::move(systems))
+{
+    cmpsim_assert(!systems_.empty());
+    controllers_.reserve(systems_.size());
+    for (CmpSystem *sys : systems_)
+        controllers_.emplace_back(*sys);
+    const SamplingPlan &lead = controllers_.front().plan();
+    for (const SamplingController &c : controllers_) {
+        cmpsim_assert(c.plan().ff_per_core == lead.ff_per_core);
+        cmpsim_assert(c.plan().detail_per_core ==
+                      lead.detail_per_core);
+        cmpsim_assert(c.plan().max_intervals == lead.max_intervals);
+        cmpsim_assert(c.plan().warm_per_core == lead.warm_per_core);
+    }
+}
+
+std::vector<SamplingResult>
+MatrixSampler::run()
+{
+    const SamplingPlan &plan = controllers_.front().plan();
+    const std::uint64_t warm = plan.warmPerCore();
+    const std::uint64_t skip = plan.ff_per_core - warm;
+
+    for (unsigned i = 0; i < plan.max_intervals; ++i) {
+        if (skip > 0) {
+            const std::vector<ValueStore::Op> ops =
+                systems_.front()->fastForwardJournaled(skip);
+            for (std::size_t s = 1; s < systems_.size(); ++s)
+                systems_[s]->adoptSkip(*systems_.front(), ops, skip);
+        }
+        if (warm > 0) {
+            for (CmpSystem *sys : systems_)
+                sys->fastForward(warm, warm);
+        }
+        for (SamplingController &c : controllers_)
+            c.measureInterval();
+    }
+
+    std::vector<SamplingResult> results;
+    results.reserve(controllers_.size());
+    for (const SamplingController &c : controllers_)
+        results.push_back(c.finish());
+    return results;
+}
+
+} // namespace cmpsim

@@ -1,0 +1,83 @@
+#include "src/sample/sampling_plan.h"
+
+#include <cstdlib>
+
+#include "src/common/sim_error.h"
+
+namespace cmpsim {
+
+namespace {
+
+[[noreturn]] void
+badSpec(const std::string &spec, const std::string &why)
+{
+    throw ConfigError(
+        "config.sampling",
+        "bad sampling spec \"" + spec + "\": " + why +
+            " (expected <ff>:<detail>:<n>[:ci<pct>][:warm<instr>])");
+}
+
+std::uint64_t
+parseField(const std::string &spec, const char *&p, const char *what)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(p, &end, 10);
+    if (end == p)
+        badSpec(spec, std::string("missing ") + what);
+    p = end;
+    return v;
+}
+
+} // namespace
+
+SamplingPlan
+SamplingPlan::parse(const std::string &spec)
+{
+    SamplingPlan plan;
+    const char *p = spec.c_str();
+    plan.ff_per_core = parseField(spec, p, "fast-forward length");
+    if (*p != ':')
+        badSpec(spec, "missing ':' after fast-forward length");
+    ++p;
+    plan.detail_per_core = parseField(spec, p, "detail length");
+    if (*p != ':')
+        badSpec(spec, "missing ':' after detail length");
+    ++p;
+    const std::uint64_t n = parseField(spec, p, "interval count");
+    if (n > 1000000)
+        badSpec(spec, "interval count " + std::to_string(n) +
+                          " is absurd (max 1000000)");
+    plan.max_intervals = static_cast<unsigned>(n);
+    while (*p == ':') {
+        ++p;
+        if (p[0] == 'c' && p[1] == 'i') {
+            p += 2;
+            char *end = nullptr;
+            plan.ci_target_pct = std::strtod(p, &end);
+            if (end == p)
+                badSpec(spec, "missing percentage after \"ci\"");
+            p = end;
+        } else if (p[0] == 'w' && p[1] == 'a' && p[2] == 'r' &&
+                   p[3] == 'm') {
+            p += 4;
+            plan.warm_per_core =
+                parseField(spec, p, "instruction count after \"warm\"");
+        } else {
+            badSpec(spec, "expected ci<pct> or warm<instr> suffix");
+        }
+    }
+    if (*p != '\0')
+        badSpec(spec, std::string("trailing garbage \"") + p + "\"");
+    return plan;
+}
+
+void
+applySamplingEnv(SamplingPlan &plan)
+{
+    const char *env = std::getenv("CMPSIM_SAMPLING");
+    if (env == nullptr || *env == '\0')
+        return;
+    plan = SamplingPlan::parse(env);
+}
+
+} // namespace cmpsim

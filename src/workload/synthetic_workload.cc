@@ -59,6 +59,26 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params,
           (rng_.below(params_.i_footprint / 4) * 4);
 }
 
+void
+SyntheticWorkload::copyStateFrom(const SyntheticWorkload &other)
+{
+    cmpsim_assert(cpu_ == other.cpu_);
+    cmpsim_assert(loops_.size() == other.loops_.size());
+    rng_ = other.rng_;
+    pc_ = other.pc_;
+    repeat_line_ = other.repeat_line_;
+    repeat_left_ = other.repeat_left_;
+    last_was_loop_ = other.last_was_loop_;
+    streams_ = other.streams_;
+    recent_bases_ = other.recent_bases_;
+    // Loop layout (base, order, cum_weight) is a pure function of
+    // params and seed, identical across twins — only the cursors move.
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        loops_[i].pos = other.loops_[i].pos;
+        loops_[i].on_record = other.loops_[i].on_record;
+    }
+}
+
 Addr
 SyntheticWorkload::advanceLoop()
 {

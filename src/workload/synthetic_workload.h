@@ -77,6 +77,16 @@ class SyntheticWorkload : public InstructionStream
 
     const WorkloadParams &params() const { return params_; }
 
+    /**
+     * Copy the generator cursor (RNG, pc, stream/loop positions,
+     * record state) from a lockstep twin — another instance built
+     * with the same params/cpu/seed that has advanced further. After
+     * the copy this stream produces exactly the instructions the twin
+     * would produce next. The follower half of shared-prefix
+     * fast-forward (DESIGN.md §14).
+     */
+    void copyStateFrom(const SyntheticWorkload &other);
+
   private:
     friend class CheckpointCodec; // serializes RNG + generator cursor
 

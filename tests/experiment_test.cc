@@ -73,5 +73,35 @@ TEST(DefaultJobsTest, ZeroMeansHardwareAuto)
     EXPECT_GE(defaultJobs(), 1u);
 }
 
+TEST(DefaultRunLengthsTest, ExplicitZeroWarmupRunsEndToEnd)
+{
+    // CMPSIM_WARMUP=0 must mean "no warmup", not "fall back to the
+    // 400k default" — and a zero-warmup experiment must complete and
+    // publish sane metrics, cold caches and all.
+    ::setenv("CMPSIM_WARMUP", "0", 1);
+    ::setenv("CMPSIM_MEASURE", "2000", 1);
+    const RunLengths lengths = defaultRunLengths();
+    ::unsetenv("CMPSIM_WARMUP");
+    ::unsetenv("CMPSIM_MEASURE");
+    EXPECT_EQ(lengths.warmup_per_core, 0u);
+    EXPECT_EQ(lengths.measure_per_core, 2000u);
+
+    SystemConfig cfg = makeConfig(/*cores=*/2, /*scale=*/8,
+                                  /*cache_compression=*/true,
+                                  /*link_compression=*/true,
+                                  /*prefetching=*/true,
+                                  /*adaptive=*/false);
+    const MetricSummary cold = runSeeds(cfg, "zeus", lengths, 1);
+    EXPECT_GT(cold.runs.front().instructions, 0.0);
+    EXPECT_GT(cold.runs.front().ipc, 0.0);
+
+    // A warmed run of the same point must differ: if the two agree,
+    // the zero was silently replaced by a default somewhere below.
+    RunLengths warmed = lengths;
+    warmed.warmup_per_core = 5000;
+    const MetricSummary warm = runSeeds(cfg, "zeus", warmed, 1);
+    EXPECT_NE(cold.runs.front().cycles, warm.runs.front().cycles);
+}
+
 } // namespace
 } // namespace cmpsim

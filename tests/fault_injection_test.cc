@@ -16,6 +16,7 @@
 #include "src/common/fingerprint.h"
 #include "src/core_api/cmp_system.h"
 #include "src/core_api/parallel_runner.h"
+#include "src/sample/sampling_controller.h"
 #include "src/workload/workload_params.h"
 
 namespace cmpsim {
@@ -176,6 +177,73 @@ TEST(FaultProbeTest, LaneSyncFiresOnlyInShardedKernel)
         FaultArmGuard arm(plan, /*attempt=*/1);
         EXPECT_THROW(sys.run(500), InjectedFault);
     }
+}
+
+TEST(FaultProbeTest, SamplingSitesFireDuringSampledRuns)
+{
+    // The sampling engine exposes two sites: sample.ff (once per
+    // fast-forward chunk) and sample.interval (once per interval).
+    SystemConfig cfg = makeConfig(2, 8, false, false, false, false);
+    cfg.sampling = SamplingPlan::parse("4000:1000:3");
+    {
+        const FaultPlan plan = FaultPlan::parse("sample.ff:2");
+        CmpSystem sys(cfg, benchmarkParams("zeus"));
+        SamplingController ctl(sys);
+        FaultArmGuard arm(plan, /*attempt=*/1);
+        try {
+            ctl.run();
+            FAIL() << "sample.ff fault did not fire";
+        } catch (const InjectedFault &e) {
+            EXPECT_EQ(e.context(), "sample.ff");
+        }
+    }
+    {
+        const FaultPlan plan = FaultPlan::parse("sample.interval:3");
+        CmpSystem sys(cfg, benchmarkParams("zeus"));
+        SamplingController ctl(sys);
+        FaultArmGuard arm(plan, /*attempt=*/1);
+        try {
+            ctl.run();
+            FAIL() << "sample.interval fault did not fire";
+        } catch (const InjectedFault &e) {
+            EXPECT_EQ(e.context(), "sample.interval");
+        }
+    }
+    {
+        // Unsampled runs never touch either site.
+        const FaultPlan plan =
+            FaultPlan::parse("sample.ff:1,sample.interval:1");
+        SystemConfig plain = makeConfig(2, 8, false, false, false,
+                                        false);
+        CmpSystem sys(plain, benchmarkParams("zeus"));
+        FaultArmGuard arm(plan, /*attempt=*/1);
+        sys.warmup(2000);
+        EXPECT_NO_THROW(sys.run(1000));
+    }
+}
+
+TEST(FaultContainmentTest, SampledPointFaultIsContainedAndRetried)
+{
+    // A transient fast-forward fault inside a sampled point must be
+    // contained by the batch runner and retried to a clean result,
+    // exactly like any other site.
+    auto specs = smallPoints();
+    specs.resize(1);
+    specs[0].config.sampling = SamplingPlan::parse("4000:1000:3");
+    specs[0].lengths.measure_per_core = 0; // sampled runs ignore it
+
+    RunPolicy clean;
+    const BatchResult expected = runPointsChecked(specs, 2, clean);
+    ASSERT_EQ(expected.failed(), 0u);
+
+    RunPolicy faulty;
+    faulty.max_attempts = 2;
+    faulty.faults = FaultPlan::parse("sample.ff:5:p0");
+    const BatchResult batch = runPointsChecked(specs, 2, faulty);
+
+    EXPECT_EQ(batch.failed(), 0u);
+    EXPECT_EQ(batch.outcomes[0].attempts, 2u);
+    EXPECT_EQ(fingerprints(batch), fingerprints(expected));
 }
 
 // ----------------------------------------------- batch containment

@@ -49,6 +49,7 @@ configCoverage()
         {"CMPSIM_CPISTACK", "config.cpistack"},
         {"CMPSIM_CKPT", "config.ckpt"},
         {"CMPSIM_RESTORE", "config.restore"},
+        {"CMPSIM_SAMPLING", "config.sampling"},
     };
     return m;
 }

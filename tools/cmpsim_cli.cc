@@ -27,6 +27,7 @@
 #include "src/obs/profiler.h"
 #include "src/obs/run_report.h"
 #include "src/obs/trace.h"
+#include "src/sample/sampling_controller.h"
 #include "src/sim/fault_injection.h"
 #include "src/workload/trace.h"
 
@@ -66,6 +67,7 @@ struct CliOptions
     std::string trace_path;   ///< --trace: Chrome trace events
     std::string samples_path; ///< --samples: interval time-series
     std::uint64_t sample_cycles = 0; ///< --sample-cycles period
+    std::string sampling_spec; ///< --sampling plan spec
 };
 
 [[noreturn]] void
@@ -109,6 +111,12 @@ usage(int code)
         "  --sample-cycles N   sampling period (default 100000 when\n"
         "                      --samples is given; also\n"
         "                      CMPSIM_SAMPLE_CYCLES)\n"
+        "  --sampling SPEC     statistical sampling plan\n"
+        "                      <ff>:<detail>:<n>[:ci<pct>] — alternate\n"
+        "                      ff fast-forward and detail timed instr\n"
+        "                      per core over n intervals, report every\n"
+        "                      metric with a 95%% CI (--measure is then\n"
+        "                      ignored; also CMPSIM_SAMPLING)\n"
         "  --help\n");
     std::exit(code);
 }
@@ -187,6 +195,8 @@ parse(int argc, char **argv)
             o.samples_path = need_value(i++);
         } else if (a == "--sample-cycles") {
             o.sample_cycles = parse_uint(i++);
+        } else if (a == "--sampling") {
+            o.sampling_spec = need_value(i++);
         } else {
             die(a.c_str(), "unknown flag (see --help)");
         }
@@ -229,6 +239,8 @@ run(const CliOptions &o)
     cfg.seed = o.seed;
     cfg.cpi_stack = o.cpi_stack;
     cfg.sample_interval = o.sample_cycles;
+    if (!o.sampling_spec.empty())
+        cfg.sampling = SamplingPlan::parse(o.sampling_spec);
     if (!o.samples_path.empty() && cfg.sample_interval == 0 &&
         std::getenv("CMPSIM_SAMPLE_CYCLES") == nullptr)
         cfg.sample_interval = 100000; // --samples implies sampling
@@ -290,9 +302,16 @@ run(const CliOptions &o)
     };
 
     CmpSystem sys(cfg, benchmarkParams(o.workload));
+    SamplingResult sampled;
+    const bool sampling_armed = cfg.sampling.armed();
     try {
         sys.warmup(o.warmup);
-        sys.run(o.measure);
+        if (sampling_armed) {
+            SamplingController ctl(sys);
+            sampled = ctl.run();
+        } else {
+            sys.run(o.measure);
+        }
     } catch (const SimError &e) {
         // A failed run still leaves a report: status, the error, and
         // whatever stats the run accumulated before it died.
@@ -301,6 +320,58 @@ run(const CliOptions &o)
         writeReport(sys);
         throw;
     }
+
+    if (sampling_armed) {
+        // Sampled run: aggregate over the detailed intervals (the
+        // plain sys.cycles() headline would only cover the last one)
+        // and print each metric with its 95% CI.
+        const double dc = sampled.detail_cycles;
+        const double di = sampled.detail_instructions;
+        report.cycles = static_cast<std::uint64_t>(dc);
+        report.instructions = static_cast<std::uint64_t>(di);
+        report.ipc = dc > 0 ? di / dc : 0;
+        report.bandwidth_gbps = sampled.bandwidth_gbps.mean;
+        report.compression_ratio = sampled.compression_ratio.mean;
+        report.sampling.armed = true;
+        report.sampling.intervals = sampled.intervals;
+        report.sampling.stopped_early = sampled.stopped_early;
+        report.sampling.ff_instructions =
+            static_cast<double>(sampled.ff_instructions);
+        report.sampling.metrics = {
+            {"cycles", sampled.cycles},
+            {"ipc", sampled.ipc},
+            {"l2_miss_rate", sampled.l2_miss_rate},
+            {"l2_mpki", sampled.l2_mpki},
+            {"bandwidth_gbps", sampled.bandwidth_gbps},
+            {"compression_ratio", sampled.compression_ratio}};
+
+        std::printf("\n--- sampled run: %u intervals%s, "
+                    "%llu instr fast-forwarded ---\n",
+                    sampled.intervals,
+                    sampled.stopped_early ? " (CI target met early)"
+                                          : "",
+                    static_cast<unsigned long long>(
+                        sampled.ff_instructions));
+        std::printf("detail cycles %.0f, detail instructions %.0f "
+                    "(aggregate IPC %.3f)\n",
+                    dc, di, report.ipc);
+        std::printf("%-20s %12s %12s\n", "metric", "mean",
+                    "ci95 (+/-)");
+        for (const auto &[name, s] : report.sampling.metrics)
+            std::printf("%-20s %12.4f %12.4f\n", name.c_str(), s.mean,
+                        s.ci95);
+
+        writeReport(sys);
+        if (!o.report_path.empty())
+            std::printf("run report    %s\n", o.report_path.c_str());
+        if (trace_session.tracer() != nullptr)
+            std::printf("trace         %llu events -> %s\n",
+                        static_cast<unsigned long long>(
+                            trace_session.tracer()->eventsWritten()),
+                        trace_session.tracer()->path().c_str());
+        return 0;
+    }
+
     report.cycles = sys.cycles();
     report.instructions = sys.instructions();
     report.ipc = sys.ipc();

@@ -31,6 +31,11 @@
  * finish with that same hash — at lanes 1 and at lanes 4, proving
  * snapshots are portable across kernel shard counts.
  *
+ * A fifth leg checks the statistical sampling engine (DESIGN.md
+ * Section 14): a sampled run must reproduce across lane counts
+ * (1 vs 4), across runner worker counts (jobs 1 vs 4 on the published
+ * summaries), and across a mid-plan checkpoint/restore.
+ *
  *   determinism_check [workload ...]      # default: zeus apsi
  *
  * Exit status 0 when every workload reproduces, 1 otherwise.
@@ -48,6 +53,7 @@
 #include "src/core_api/cmp_system.h"
 #include "src/core_api/parallel_runner.h"
 #include "src/obs/trace.h"
+#include "src/sample/sampling_controller.h"
 #include "src/workload/workload_params.h"
 
 namespace {
@@ -239,6 +245,138 @@ checkCheckpointResume(const std::vector<std::string> &workloads,
     return status;
 }
 
+/**
+ * Statistical-sampling leg (DESIGN.md Section 14): a sampled run must
+ * be as reproducible as a full-detail one. Checks, per workload:
+ * lanes 1 == 4 on the stats hash of a direct sampled run, jobs 1 == 4
+ * on the published summary of a sampled batch, and a fresh system
+ * resumed from a mid-plan autosave finishing with the straight-run
+ * hash. Returns 0 on success, 1 on any divergence.
+ */
+int
+checkSampledRuns(const std::vector<std::string> &workloads)
+{
+    using namespace cmpsim;
+    const char *kPlan = "12000:4000:4:warm4000";
+
+    // The CPI-stack layer refuses to combine with statistical
+    // sampling (validate()), and checkpoints refuse interval
+    // time-series sampling — run this leg with both knobs unarmed,
+    // restoring them afterwards (same dance as the checkpoint leg).
+    const char *cpi_env = getenv("CMPSIM_CPISTACK");
+    const std::string saved_cpi = cpi_env != nullptr ? cpi_env : "";
+    if (cpi_env != nullptr)
+        unsetenv("CMPSIM_CPISTACK");
+    const char *sample_env = getenv("CMPSIM_SAMPLE_CYCLES");
+    const std::string saved_sample =
+        sample_env != nullptr ? sample_env : "";
+    if (sample_env != nullptr)
+        unsetenv("CMPSIM_SAMPLE_CYCLES");
+
+    // Direct sampled run at a given lane count -> stats hash.
+    const auto sampledOnce = [&](const std::string &workload,
+                                 unsigned lanes) {
+        SystemConfig cfg = makeConfig(/*cores=*/4, /*scale=*/4,
+                                      /*cache_compression=*/true,
+                                      /*link_compression=*/true,
+                                      /*prefetching=*/true,
+                                      /*adaptive=*/true);
+        cfg.seed = 12345;
+        cfg.audit_interval = 10000;
+        cfg.sampling = SamplingPlan::parse(kPlan);
+        if (lanes != 0)
+            cfg.lanes = lanes;
+        CmpSystem sys(cfg, benchmarkParams(workload));
+        sys.warmup(20000);
+        SamplingController(sys).run();
+        std::ostringstream out;
+        sys.stats().dump(out);
+        out << "cycles " << sys.cycles() << "\n";
+        out << "instructions " << sys.instructions() << "\n";
+        return fnv1a(out.str());
+    };
+
+    int status = 0;
+    const std::string path = "determinism_check_sampled_ckpt.bin";
+    for (const std::string &w : workloads) {
+        const std::uint64_t h1 = sampledOnce(w, 1);
+        const std::uint64_t h4 = sampledOnce(w, 4);
+
+        // Mid-plan checkpoint: autosave while running to completion,
+        // then resume a fresh system from the last (mid-plan)
+        // snapshot; both must land on the lanes-1 hash.
+        std::remove(path.c_str());
+        std::remove((path + ".prev").c_str());
+        setenv("CMPSIM_CKPT", (path + ":every3000").c_str(), 1);
+        const std::uint64_t save = sampledOnce(w, 1);
+        unsetenv("CMPSIM_CKPT");
+        setenv("CMPSIM_RESTORE", path.c_str(), 1);
+        const std::uint64_t resume = sampledOnce(w, 1);
+        unsetenv("CMPSIM_RESTORE");
+        std::remove(path.c_str());
+        std::remove((path + ".prev").c_str());
+
+        if (h1 == h4 && save == h1 && resume == h1) {
+            std::printf("determinism_check: %-8s ok    %016llx "
+                        "(sampled: lanes 1 == 4, midplan resume)\n",
+                        w.c_str(),
+                        static_cast<unsigned long long>(h1));
+        } else {
+            std::printf("determinism_check: %-8s FAIL  sampled "
+                        "%016llx vs %016llx (lanes 4) vs %016llx "
+                        "(ckpt save) vs %016llx (midplan resume)\n",
+                        w.c_str(),
+                        static_cast<unsigned long long>(h1),
+                        static_cast<unsigned long long>(h4),
+                        static_cast<unsigned long long>(save),
+                        static_cast<unsigned long long>(resume));
+            status = 1;
+        }
+    }
+
+    // Sampled batch through the parallel runner: jobs 1 vs 4.
+    std::vector<PointSpec> specs;
+    for (const std::string &w : workloads) {
+        PointSpec spec;
+        spec.config = makeConfig(/*cores=*/4, /*scale=*/4,
+                                 /*cache_compression=*/true,
+                                 /*link_compression=*/true,
+                                 /*prefetching=*/true,
+                                 /*adaptive=*/true);
+        spec.config.sampling = SamplingPlan::parse(kPlan);
+        spec.benchmark = w;
+        spec.lengths.warmup_per_core = 20000;
+        spec.lengths.measure_per_core = 0; // sampled runs ignore it
+        spec.seeds = 2;
+        specs.push_back(std::move(spec));
+    }
+    const auto serial = runPoints(specs, /*jobs=*/1);
+    const auto parallel = runPoints(specs, /*jobs=*/4);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::uint64_t j1 = fnv1a(summaryBytes(serial[i]));
+        const std::uint64_t j4 = fnv1a(summaryBytes(parallel[i]));
+        if (j1 == j4) {
+            std::printf("determinism_check: %-8s ok    %016llx "
+                        "(sampled: jobs 1 == jobs 4)\n",
+                        specs[i].benchmark.c_str(),
+                        static_cast<unsigned long long>(j1));
+        } else {
+            std::printf("determinism_check: %-8s FAIL  sampled "
+                        "%016llx != %016llx (jobs 1 vs jobs 4)\n",
+                        specs[i].benchmark.c_str(),
+                        static_cast<unsigned long long>(j1),
+                        static_cast<unsigned long long>(j4));
+            status = 1;
+        }
+    }
+
+    if (cpi_env != nullptr)
+        setenv("CMPSIM_CPISTACK", saved_cpi.c_str(), 1);
+    if (sample_env != nullptr)
+        setenv("CMPSIM_SAMPLE_CYCLES", saved_sample.c_str(), 1);
+    return status;
+}
+
 int
 run(const std::vector<std::string> &workloads)
 {
@@ -264,6 +402,7 @@ run(const std::vector<std::string> &workloads)
     status |= checkLanes(workloads, baseline);
     status |= checkParallelRunner(workloads);
     status |= checkCheckpointResume(workloads, baseline);
+    status |= checkSampledRuns(workloads);
     return status;
 }
 
